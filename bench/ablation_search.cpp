@@ -1,0 +1,53 @@
+// Ablation: in-node search strategy (linear scan with the 3-way comparator
+// vs binary search) across node sizes — implementation note (2) of §3.
+//
+//   ./build/bench/ablation_search [--n=1000000]
+
+#include "bench/common.h"
+
+#include "core/btree.h"
+
+namespace {
+
+using namespace dtree;
+using namespace dtree::bench;
+
+template <unsigned BlockSize, typename Search>
+double insert_throughput(const std::vector<Point>& pts) {
+    btree_set<Point, ThreeWayComparator<Point>, BlockSize, Search> t;
+    auto h = t.create_hints();
+    util::Timer timer;
+    for (const auto& p : pts) t.insert(p, h);
+    return static_cast<double>(pts.size()) / timer.elapsed_s() / 1e6;
+}
+
+template <unsigned BlockSize>
+void run(const std::vector<Point>& random, util::SeriesTable& table) {
+    table.add("linear, " + std::to_string(BlockSize) + " keys",
+              insert_throughput<BlockSize, detail::LinearSearch>(random));
+    table.add("binary, " + std::to_string(BlockSize) + " keys",
+              insert_throughput<BlockSize, detail::BinarySearch>(random));
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    dtree::util::Cli cli(argc, argv);
+    const std::size_t n = cli.get_u64("n", 1'000'000);
+    std::size_t side = 1;
+    while (side * side < n) ++side;
+    auto pts = grid_points(side);
+    pts.resize(n);
+    pts = shuffled(std::move(pts), 9);
+
+    util::SeriesTable table("[ablation] in-node search strategy, random insertion, M inserts/s",
+                            "config");
+    table.set_x({std::to_string(n) + " pts"});
+    run<8>(pts, table);
+    run<16>(pts, table);
+    run<32>(pts, table);
+    run<64>(pts, table);
+    run<128>(pts, table);
+    table.print();
+    return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+// Shared infrastructure for the figure/table reproduction harnesses: point
+// generators matching the paper's micro-benchmarks (§4.1: "insert varying
+// numbers of 2D points", ordered = lexicographic, random = shuffled) and a
+// type-list applicator to sweep adapter types.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/tuple.h"
+#include "util/cli.h"
+#include "util/random.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace dtree::bench {
+
+using Point = Tuple<2>;
+
+/// All points of an n×n grid in lexicographic order.
+inline std::vector<Point> grid_points(std::size_t side) {
+    std::vector<Point> out;
+    out.reserve(side * side);
+    for (std::uint64_t x = 0; x < side; ++x) {
+        for (std::uint64_t y = 0; y < side; ++y) out.push_back(Point{x, y});
+    }
+    return out;
+}
+
+/// Same points, shuffled deterministically.
+inline std::vector<Point> shuffled(std::vector<Point> pts, std::uint64_t seed) {
+    util::Rng rng(seed);
+    util::shuffle(pts, rng);
+    return pts;
+}
+
+/// Applies fn.template operator()<T>() for every T in the pack.
+template <typename... Ts, typename Fn>
+void for_each_type(Fn&& fn) {
+    (fn.template operator()<Ts>(), ...);
+}
+
+/// The paper's x-axis: side lengths of the point grids (1000², 2000², ... ).
+inline std::vector<std::size_t> grid_sides(const util::Cli& cli) {
+    if (cli.has("sides")) {
+        std::vector<std::size_t> out;
+        for (unsigned s : cli.get_list("sides", {})) out.push_back(s);
+        return out;
+    }
+    if (cli.get_bool("full")) return {1000, 2000, 5000, 10000};
+    return {300, 600, 1000}; // quick mode: finishes in seconds
+}
+
+inline std::string label(std::size_t side) {
+    return std::to_string(side) + "^2";
+}
+
+} // namespace dtree::bench

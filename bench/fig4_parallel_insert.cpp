@@ -1,0 +1,126 @@
+// Reproduces Figure 4 (a-d): parallel insertion throughput, strong scaling.
+//
+//   ./build/bench/fig4_parallel_insert [--full] [--n=2000000] [--threads=1,2,4,8]
+//
+// (a) ordered, single-socket thread counts {1..16}
+// (b) random,  single-socket thread counts {1..16}
+// (c) ordered, multi-socket thread counts {1..32}
+// (d) random,  multi-socket thread counts {1..32}
+//
+// The paper's testbed is a 4x8-core Xeon; (c)/(d) differ from (a)/(b) only in
+// crossing socket boundaries. This harness sweeps the same thread counts on
+// whatever host it runs on and EXPERIMENTS.md records the host topology.
+// Elements are partitioned into contiguous blocks per thread (the paper's
+// NUMA-friendly setup for (c)); the random case shuffles within each block.
+//
+// Expected shape (§4.2): the global-lock btree never scales; the reduction
+// btree helps only in the random case with few threads; TBB's hash set
+// scales but from a far lower base; the optimistic btree (with or without
+// hints) delivers the highest absolute throughput and keeps scaling.
+
+#include "bench/common.h"
+
+#include "baselines/adapters.h"
+#include "util/parallel.h"
+
+#include <cstdio>
+
+namespace {
+
+using namespace dtree;
+using namespace dtree::bench;
+using namespace dtree::baselines;
+
+std::vector<Point> make_input(std::size_t n, bool ordered, unsigned threads) {
+    // n points of a sqrt(n) x sqrt(n)-ish grid, lexicographic.
+    std::size_t side = 1;
+    while (side * side < n) ++side;
+    auto pts = grid_points(side);
+    pts.resize(n);
+    if (!ordered) {
+        // Shuffle within each thread's block: every thread still works on a
+        // random sequence while blocks stay disjoint (strong scaling with
+        // first-touch locality, as in the paper).
+        for (unsigned t = 0; t < threads; ++t) {
+            auto [b, e] = util::block_range(n, t, threads);
+            util::Rng rng(100 + t);
+            std::shuffle(pts.begin() + static_cast<std::ptrdiff_t>(b),
+                         pts.begin() + static_cast<std::ptrdiff_t>(e), rng);
+        }
+    }
+    return pts;
+}
+
+template <typename Adapter>
+double run_one(const std::vector<Point>& pts, unsigned threads) {
+    Adapter set = [&] {
+        if constexpr (std::is_constructible_v<Adapter, unsigned>) {
+            return Adapter(threads);
+        } else {
+            return Adapter{};
+        }
+    }();
+    util::Timer t;
+    util::parallel_blocks(pts.size(), threads, [&](unsigned tid, std::size_t b, std::size_t e) {
+        auto local = set.make_local(tid);
+        for (std::size_t i = b; i < e; ++i) local.insert(pts[i]);
+    });
+    set.finalize(threads); // reduction merge; no-op elsewhere
+    return static_cast<double>(pts.size()) / t.elapsed_s() / 1e6;
+}
+
+void run_section(const char* title, std::size_t n, bool ordered,
+                 const std::vector<unsigned>& threads) {
+    util::SeriesTable table(title, "threads");
+    std::vector<std::string> xs;
+    for (unsigned t : threads) xs.push_back(std::to_string(t));
+    table.set_x(xs);
+
+    for (unsigned t : threads) {
+        const auto pts = make_input(n, ordered, t);
+        table.add("btree", run_one<OurBTreeAdapter<Point>>(pts, t));
+    }
+    for (unsigned t : threads) {
+        const auto pts = make_input(n, ordered, t);
+        table.add("btree (n/h)", run_one<OurBTreeNoHintsAdapter<Point>>(pts, t));
+    }
+    for (unsigned t : threads) {
+        const auto pts = make_input(n, ordered, t);
+        table.add("google btree", run_one<GlobalLockBTreeAdapter<Point>>(pts, t));
+    }
+    for (unsigned t : threads) {
+        const auto pts = make_input(n, ordered, t);
+        table.add("reduction btree", run_one<ReductionBTreeAdapter<Point>>(pts, t));
+    }
+    for (unsigned t : threads) {
+        const auto pts = make_input(n, ordered, t);
+        table.add("TBB hashset", run_one<TbbLikeHashSetAdapter<Point>>(pts, t));
+    }
+    table.print();
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    dtree::util::Cli cli(argc, argv);
+    const std::size_t n =
+        cli.get_u64("n", cli.get_bool("full") ? 100'000'000ull : 2'000'000ull);
+
+    const auto single = cli.get_list("threads", {1, 2, 4, 8, 12, 16});
+    const auto multi = cli.get_list("threads", {1, 2, 4, 8, 12, 16, 20, 24, 28, 32});
+
+    char title[160];
+    std::snprintf(title, sizeof(title),
+                  "[fig 4a] parallel insertion (ordered, single socket), %zu elems, M inserts/s", n);
+    run_section(title, n, /*ordered=*/true, single);
+    std::snprintf(title, sizeof(title),
+                  "[fig 4b] parallel insertion (random, single socket), %zu elems, M inserts/s", n);
+    run_section(title, n, /*ordered=*/false, single);
+    std::snprintf(title, sizeof(title),
+                  "[fig 4c] parallel insertion (ordered, multi socket), %zu elems, M inserts/s", n);
+    run_section(title, n, /*ordered=*/true, multi);
+    std::snprintf(title, sizeof(title),
+                  "[fig 4d] parallel insertion (random, multi socket), %zu elems, M inserts/s", n);
+    run_section(title, n, /*ordered=*/false, multi);
+    return 0;
+}

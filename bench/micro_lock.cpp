@@ -1,0 +1,85 @@
+// Google-benchmark micro: raw cost of the optimistic read-write lock's
+// operations against a std::mutex and a spinlock baseline — the per-node
+// overhead every single tree traversal step pays (§3.1's core argument:
+// a validated optimistic read performs NO store, so the uncontended read
+// path must be in the same league as an unsynchronised load).
+//
+//   ./build/bench/micro_lock
+
+#include <benchmark/benchmark.h>
+
+#include <mutex>
+
+#include "core/optimistic_lock.h"
+#include "util/spinlock.h"
+
+namespace {
+
+using dtree::OptimisticReadWriteLock;
+
+void BM_OptimisticRead(benchmark::State& state) {
+    OptimisticReadWriteLock lock;
+    std::uint64_t data = 42;
+    for (auto _ : state) {
+        auto lease = lock.start_read();
+        benchmark::DoNotOptimize(data);
+        benchmark::DoNotOptimize(lock.end_read(lease));
+    }
+}
+BENCHMARK(BM_OptimisticRead)->ThreadRange(1, 8);
+
+void BM_OptimisticWrite(benchmark::State& state) {
+    OptimisticReadWriteLock lock;
+    std::uint64_t data = 0;
+    for (auto _ : state) {
+        lock.start_write();
+        ++data;
+        lock.end_write();
+    }
+    benchmark::DoNotOptimize(data);
+}
+BENCHMARK(BM_OptimisticWrite);
+
+void BM_OptimisticUpgrade(benchmark::State& state) {
+    OptimisticReadWriteLock lock;
+    std::uint64_t data = 0;
+    for (auto _ : state) {
+        auto lease = lock.start_read();
+        benchmark::DoNotOptimize(data);
+        if (lock.try_upgrade_to_write(lease)) {
+            ++data;
+            lock.end_write();
+        }
+    }
+}
+BENCHMARK(BM_OptimisticUpgrade);
+
+void BM_MutexReadPath(benchmark::State& state) {
+    static std::mutex mutex;
+    static std::uint64_t data = 42;
+    for (auto _ : state) {
+        std::lock_guard guard(mutex);
+        benchmark::DoNotOptimize(data);
+    }
+}
+BENCHMARK(BM_MutexReadPath)->ThreadRange(1, 8);
+
+void BM_SpinlockReadPath(benchmark::State& state) {
+    static dtree::util::Spinlock lock;
+    static std::uint64_t data = 42;
+    for (auto _ : state) {
+        std::lock_guard guard(lock);
+        benchmark::DoNotOptimize(data);
+    }
+}
+BENCHMARK(BM_SpinlockReadPath)->ThreadRange(1, 8);
+
+void BM_UnsynchronisedRead(benchmark::State& state) {
+    std::uint64_t data = 42;
+    for (auto _ : state) benchmark::DoNotOptimize(data);
+}
+BENCHMARK(BM_UnsynchronisedRead);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Network security audit through the soufflette Datalog engine — the
+// workload class of the paper's Fig. 5b (EC2-style, read-heavy): which
+// instances can an internet-facing node reach, given topology, security
+// groups and a deny-list?
+//
+//   ./build/examples/network_audit [scale] [threads]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datalog/program.h"
+#include "datalog/workloads.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+    using namespace dtree::datalog;
+    const std::size_t scale = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+    const unsigned threads =
+        argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 4;
+
+    const Workload w = make_ec2_like(scale, /*seed=*/11);
+    std::printf("== network reachability audit (scale %zu, %u threads) ==\n%s\n",
+                scale, threads, w.source.c_str());
+
+    DefaultEngine engine(compile(w.source));
+    for (const auto& [rel, tuples] : w.facts) engine.add_facts(rel, tuples);
+
+    dtree::util::Timer timer;
+    engine.run(threads);
+    const double secs = timer.elapsed_s();
+
+    const auto exposed = engine.tuples("exposed");
+    std::printf("node 0 reaches %zu instances; first few:", exposed.size());
+    for (std::size_t i = 0; i < exposed.size() && i < 8; ++i) {
+        std::printf(" %llu", static_cast<unsigned long long>(exposed[i][0]));
+    }
+    std::printf("\n");
+    for (const auto& out : w.output_relations) {
+        std::printf("  %-10s : %zu tuples\n", out.c_str(), engine.relation(out).size());
+    }
+
+    const EngineStats s = engine.stats();
+    std::printf("\nevaluation took %.3f s\n", secs);
+    const double reads = static_cast<double>(s.ops.membership_tests +
+                                             s.ops.lower_bound_calls +
+                                             s.ops.upper_bound_calls);
+    std::printf("read/insert ratio: %.1f (read-heavy, as in the paper's Table 2)\n",
+                reads / static_cast<double>(s.ops.inserts ? s.ops.inserts : 1));
+    std::printf("operation hint hit rate: %.1f%% (paper reports ~77%% for this class)\n",
+                100.0 * s.hints.hit_rate());
+    return 0;
+}

@@ -1,0 +1,54 @@
+// Var-points-to analysis through the soufflette Datalog engine — the
+// workload class of the paper's Fig. 5a (Doop-style, insertion-heavy),
+// expressed as an actual Datalog program and evaluated bottom-up with the
+// specialized concurrent B-tree as relation storage.
+//
+//   ./build/examples/pointsto [scale] [threads]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "datalog/program.h"
+#include "datalog/workloads.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+    using namespace dtree::datalog;
+    const std::size_t scale = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 3000;
+    const unsigned threads =
+        argc > 2 ? static_cast<unsigned>(std::strtoul(argv[2], nullptr, 10)) : 4;
+
+    const Workload w = make_doop_like(scale, /*seed=*/7);
+    std::printf("== Andersen-style points-to (scale %zu, %u threads) ==\n%s\n",
+                scale, threads, w.source.c_str());
+
+    DefaultEngine engine(compile(w.source));
+    std::size_t facts = 0;
+    for (const auto& [rel, tuples] : w.facts) {
+        engine.add_facts(rel, tuples);
+        facts += tuples.size();
+    }
+    std::printf("loaded %zu input facts\n", facts);
+
+    dtree::util::Timer timer;
+    engine.run(threads);
+    const double secs = timer.elapsed_s();
+
+    for (const auto& out : w.output_relations) {
+        std::printf("  %-10s : %zu tuples\n", out.c_str(), engine.relation(out).size());
+    }
+
+    const EngineStats s = engine.stats();
+    std::printf("\nevaluation took %.3f s\n", secs);
+    std::printf("inserts: %llu, membership: %llu, bounds: %llu/%llu\n",
+                static_cast<unsigned long long>(s.ops.inserts),
+                static_cast<unsigned long long>(s.ops.membership_tests),
+                static_cast<unsigned long long>(s.ops.lower_bound_calls),
+                static_cast<unsigned long long>(s.ops.upper_bound_calls));
+    std::printf("produced %llu tuples from %llu inputs in %llu fixpoint iterations\n",
+                static_cast<unsigned long long>(s.produced_tuples),
+                static_cast<unsigned long long>(s.input_tuples),
+                static_cast<unsigned long long>(s.iterations));
+    std::printf("operation hint hit rate: %.1f%%\n", 100.0 * s.hints.hit_rate());
+    return 0;
+}

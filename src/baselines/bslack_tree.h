@@ -1,0 +1,253 @@
+#pragma once
+
+// bslack_tree — simplified re-implementation of the B-slack tree idea
+// (Brown, SWAT'14) for the Table 3 comparison, with a concrete locking
+// scheme (which [12] deliberately leaves unspecified — see paper §4.4).
+//
+// The B-slack property kept here: before splitting, a full leaf first tries
+// to *donate* a key to an adjacent sibling with available slack, trading
+// restructuring locality for higher node fill (the space-efficiency claim of
+// B-slack trees). The locking scheme chosen is classic pessimistic
+// hand-over-hand (lock coupling) with single-pass top-down preemptive
+// splitting — the natural pairing for slack-based rebalancing, and a useful
+// pessimistic counterpoint to the core tree's optimistic protocol (reused by
+// bench/ablation_locking).
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/comparator.h"
+#include "util/spinlock.h"
+
+namespace dtree::baselines {
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = 32>
+class bslack_tree {
+    static_assert(BlockSize >= 4);
+
+    struct Node {
+        util::Spinlock lock;
+        std::uint32_t count = 0;
+        const bool leaf;
+        Key keys[BlockSize];
+        Node* children[BlockSize + 1];
+
+        explicit Node(bool is_leaf) : leaf(is_leaf) {
+            for (auto& c : children) c = nullptr;
+        }
+        bool full() const { return count == BlockSize; }
+    };
+
+public:
+    using key_type = Key;
+
+    bslack_tree() = default;
+    explicit bslack_tree(unsigned /*workers*/) {}
+    bslack_tree(const bslack_tree&) = delete;
+    bslack_tree& operator=(const bslack_tree&) = delete;
+    ~bslack_tree() { destroy(root_); }
+
+    /// Thread-safe insert via lock coupling.
+    bool insert(const Key& k) {
+        root_lock_.lock();
+        if (!root_) {
+            root_ = new Node(/*is_leaf=*/true);
+            root_->keys[0] = k;
+            root_->count = 1;
+            root_lock_.unlock();
+            size_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        Node* cur = root_;
+        cur->lock.lock();
+        if (cur->full()) {
+            // Root has no siblings to donate to: grow the tree.
+            Node* new_root = new Node(/*is_leaf=*/false);
+            new_root->children[0] = cur;
+            split_child(new_root, 0);
+            root_ = new_root;
+            // Continue from the new root; it is not full.
+            cur->lock.unlock();
+            cur = new_root;
+            cur->lock.lock();
+        }
+        root_lock_.unlock();
+
+        // Invariant: cur is locked and not full.
+        for (;;) {
+            unsigned pos = lower_pos(cur, k);
+            if (pos < cur->count && comp_.equal(cur->keys[pos], k)) {
+                cur->lock.unlock();
+                return false;
+            }
+            if (cur->leaf) {
+                for (unsigned i = cur->count; i > pos; --i) cur->keys[i] = cur->keys[i - 1];
+                cur->keys[pos] = k;
+                ++cur->count;
+                cur->lock.unlock();
+                size_.fetch_add(1, std::memory_order_relaxed);
+                return true;
+            }
+            Node* child = cur->children[pos];
+            child->lock.lock();
+            if (child->full()) {
+                // B-slack move: donate into sibling slack before splitting.
+                if (!try_donate(cur, pos, child)) split_child(cur, pos);
+                child->lock.unlock();
+                // Separators changed; re-aim from the (locked, non-full) parent.
+                continue;
+            }
+            cur->lock.unlock();
+            cur = child;
+        }
+    }
+
+    /// Phase-concurrent membership test (no writers active).
+    bool contains(const Key& k) const {
+        const Node* cur = root_;
+        while (cur) {
+            const unsigned pos = lower_pos(cur, k);
+            if (pos < cur->count && comp_.equal(cur->keys[pos], k)) return true;
+            if (cur->leaf) return false;
+            cur = cur->children[pos];
+        }
+        return false;
+    }
+
+    std::size_t size() const { return size_.load(std::memory_order_relaxed); }
+    bool empty() const { return size() == 0; }
+
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        visit(root_, fn);
+    }
+
+    void clear() {
+        destroy(root_);
+        root_ = nullptr;
+        size_.store(0, std::memory_order_relaxed);
+    }
+
+    /// Average leaf fill grade — the quantity B-slack trees optimise;
+    /// surfaced for the space-efficiency comparison in EXPERIMENTS.md.
+    double leaf_fill() const {
+        std::size_t slots = 0, used = 0;
+        fill(root_, slots, used);
+        return slots == 0 ? 0.0 : static_cast<double>(used) / static_cast<double>(slots);
+    }
+
+private:
+    unsigned lower_pos(const Node* n, const Key& k) const {
+        unsigned lo = 0, hi = n->count;
+        while (lo < hi) {
+            const unsigned mid = lo + (hi - lo) / 2;
+            if (comp_(n->keys[mid], k) < 0) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    /// Donates one boundary key from the full leaf `child` (children[pos] of
+    /// the locked `parent`) into an adjacent sibling with at least two free
+    /// slots (two, so the sibling cannot immediately become the next full
+    /// target — avoids donation ping-pong). Returns true on success.
+    /// Only leaves donate; inner nodes split directly.
+    bool try_donate(Node* parent, unsigned pos, Node* child) {
+        if (!child->leaf) return false;
+        if (pos > 0) {
+            Node* left = parent->children[pos - 1];
+            left->lock.lock();
+            if (BlockSize - left->count >= 2) {
+                // separator rotates down-left; child's smallest rotates up.
+                left->keys[left->count] = parent->keys[pos - 1];
+                ++left->count;
+                parent->keys[pos - 1] = child->keys[0];
+                for (unsigned i = 0; i + 1 < child->count; ++i) child->keys[i] = child->keys[i + 1];
+                --child->count;
+                left->lock.unlock();
+                return true;
+            }
+            left->lock.unlock();
+        }
+        if (pos < parent->count) {
+            Node* right = parent->children[pos + 1];
+            right->lock.lock();
+            if (BlockSize - right->count >= 2) {
+                // separator rotates down-right; child's largest rotates up.
+                for (unsigned i = right->count; i > 0; --i) right->keys[i] = right->keys[i - 1];
+                right->keys[0] = parent->keys[pos];
+                ++right->count;
+                parent->keys[pos] = child->keys[child->count - 1];
+                --child->count;
+                right->lock.unlock();
+                return true;
+            }
+            right->lock.unlock();
+        }
+        return false;
+    }
+
+    /// Median split of the (locked) full child under the locked, non-full
+    /// parent.
+    void split_child(Node* parent, unsigned idx) {
+        Node* child = parent->children[idx];
+        constexpr unsigned mid = BlockSize / 2;
+        Node* right = new Node(child->leaf);
+        right->count = BlockSize - mid - 1;
+        for (unsigned i = 0; i < right->count; ++i) right->keys[i] = child->keys[mid + 1 + i];
+        if (!child->leaf) {
+            for (unsigned i = 0; i <= right->count; ++i) {
+                right->children[i] = child->children[mid + 1 + i];
+            }
+        }
+        child->count = mid;
+        for (unsigned i = parent->count; i > idx; --i) {
+            parent->keys[i] = parent->keys[i - 1];
+            parent->children[i + 1] = parent->children[i];
+        }
+        parent->keys[idx] = child->keys[mid];
+        parent->children[idx + 1] = right;
+        ++parent->count;
+    }
+
+    template <typename Fn>
+    static void visit(const Node* n, Fn& fn) {
+        if (!n) return;
+        for (unsigned i = 0; i < n->count; ++i) {
+            if (!n->leaf) visit(n->children[i], fn);
+            fn(n->keys[i]);
+        }
+        if (!n->leaf) visit(n->children[n->count], fn);
+    }
+
+    static void fill(const Node* n, std::size_t& slots, std::size_t& used) {
+        if (!n) return;
+        if (n->leaf) {
+            slots += BlockSize;
+            used += n->count;
+            return;
+        }
+        for (unsigned i = 0; i <= n->count; ++i) fill(n->children[i], slots, used);
+    }
+
+    static void destroy(Node* n) {
+        if (!n) return;
+        if (!n->leaf) {
+            for (unsigned i = 0; i <= n->count; ++i) destroy(n->children[i]);
+        }
+        delete n;
+    }
+
+    util::Spinlock root_lock_;
+    Node* root_ = nullptr;
+    std::atomic<std::size_t> size_{0};
+    [[no_unique_address]] Compare comp_;
+};
+
+} // namespace dtree::baselines

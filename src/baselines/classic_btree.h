@@ -1,0 +1,220 @@
+#pragma once
+
+// classic_btree — stand-in for the paper's "google btree" baseline.
+//
+// A from-scratch, thread-UNSAFE, cache-friendly in-memory B-tree in the style
+// of Google's cpp-btree: wide nodes sized to a few cache lines, binary search
+// within nodes, and single-pass *top-down* insertion that preemptively splits
+// full nodes on the way down (so no parent chain ever needs revisiting).
+// This is deliberately a different algorithm from the core tree's optimistic
+// bottom-up scheme — it is the sequential state of the art the paper
+// compares against, and the building block for the global-lock and
+// reduction-based parallel baselines.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/comparator.h"
+
+namespace dtree::baselines {
+
+/// Node sizing rule: Google's btree targets 256-byte nodes.
+template <typename Key>
+constexpr unsigned classic_btree_block_size() {
+    constexpr std::size_t target = 256;
+    constexpr std::size_t n = target / sizeof(Key);
+    return n < 3 ? 3u : static_cast<unsigned>(n);
+}
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = classic_btree_block_size<Key>()>
+class classic_btree {
+    static_assert(BlockSize >= 3);
+
+    struct Node {
+        std::uint32_t count = 0;
+        const bool leaf;
+        Key keys[BlockSize];
+        // children[i] < keys[i] < children[i+1]; only allocated use for inner.
+        Node* children[BlockSize + 1];
+
+        explicit Node(bool is_leaf) : leaf(is_leaf) {
+            for (auto& c : children) c = nullptr;
+        }
+        bool full() const { return count == BlockSize; }
+    };
+
+public:
+    using key_type = Key;
+    static constexpr unsigned block_size = BlockSize;
+
+    classic_btree() = default;
+    classic_btree(const classic_btree&) = delete;
+    classic_btree& operator=(const classic_btree&) = delete;
+    classic_btree(classic_btree&& o) noexcept : root_(o.root_), size_(o.size_) {
+        o.root_ = nullptr;
+        o.size_ = 0;
+    }
+    classic_btree& operator=(classic_btree&& o) noexcept {
+        if (this != &o) {
+            clear();
+            root_ = std::exchange(o.root_, nullptr);
+            size_ = std::exchange(o.size_, 0);
+        }
+        return *this;
+    }
+    ~classic_btree() { destroy(root_); }
+
+    void clear() {
+        destroy(root_);
+        root_ = nullptr;
+        size_ = 0;
+    }
+
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    /// Single-pass insert: splits any full node encountered during the
+    /// descent, so the final leaf insertion never propagates upward.
+    bool insert(const Key& k) {
+        if (!root_) {
+            root_ = new Node(/*is_leaf=*/true);
+            root_->keys[0] = k;
+            root_->count = 1;
+            size_ = 1;
+            return true;
+        }
+        if (root_->full()) {
+            Node* new_root = new Node(/*is_leaf=*/false);
+            new_root->children[0] = root_;
+            split_child(new_root, 0);
+            root_ = new_root;
+        }
+        Node* cur = root_;
+        for (;;) {
+            unsigned pos = lower_pos(cur, k);
+            if (pos < cur->count && comp_.equal(cur->keys[pos], k)) return false;
+            if (cur->leaf) {
+                for (unsigned i = cur->count; i > pos; --i) cur->keys[i] = cur->keys[i - 1];
+                cur->keys[pos] = k;
+                ++cur->count;
+                ++size_;
+                return true;
+            }
+            if (cur->children[pos]->full()) {
+                split_child(cur, pos);
+                // The promoted median may equal or precede k; re-aim.
+                const int c = comp_(k, cur->keys[pos]);
+                if (c == 0) return false;
+                if (c > 0) ++pos;
+            }
+            cur = cur->children[pos];
+        }
+    }
+
+    bool contains(const Key& k) const {
+        const Node* cur = root_;
+        while (cur) {
+            const unsigned pos = lower_pos(cur, k);
+            if (pos < cur->count && comp_.equal(cur->keys[pos], k)) return true;
+            if (cur->leaf) return false;
+            cur = cur->children[pos];
+        }
+        return false;
+    }
+
+    /// In-order visitation (replaces iterators for this baseline: all bench
+    /// loops only need a full scan or a bounded scan).
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        visit(root_, fn);
+    }
+
+    /// Visits every element x with from <= x <= to, in order.
+    template <typename Fn>
+    void for_each_in_range(const Key& from, const Key& to, Fn&& fn) const {
+        visit_range(root_, from, to, fn);
+    }
+
+    /// Merges all elements of another tree into this one.
+    void insert_all(const classic_btree& other) {
+        other.for_each([&](const Key& k) { insert(k); });
+    }
+
+private:
+    unsigned lower_pos(const Node* n, const Key& k) const {
+        unsigned lo = 0, hi = n->count;
+        while (lo < hi) {
+            const unsigned mid = lo + (hi - lo) / 2;
+            if (comp_(n->keys[mid], k) < 0) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    /// Splits parent->children[idx] (full) around its median, linking the new
+    /// right sibling at idx+1. parent must not be full.
+    void split_child(Node* parent, unsigned idx) {
+        Node* child = parent->children[idx];
+        assert(child->full() && !parent->full());
+        constexpr unsigned mid = BlockSize / 2;
+        Node* right = new Node(child->leaf);
+        right->count = BlockSize - mid - 1;
+        for (unsigned i = 0; i < right->count; ++i) right->keys[i] = child->keys[mid + 1 + i];
+        if (!child->leaf) {
+            for (unsigned i = 0; i <= right->count; ++i) {
+                right->children[i] = child->children[mid + 1 + i];
+            }
+        }
+        child->count = mid;
+        for (unsigned i = parent->count; i > idx; --i) {
+            parent->keys[i] = parent->keys[i - 1];
+            parent->children[i + 1] = parent->children[i];
+        }
+        parent->keys[idx] = child->keys[mid];
+        parent->children[idx + 1] = right;
+        ++parent->count;
+    }
+
+    template <typename Fn>
+    static void visit(const Node* n, Fn& fn) {
+        if (!n) return;
+        for (unsigned i = 0; i < n->count; ++i) {
+            if (!n->leaf) visit(n->children[i], fn);
+            fn(n->keys[i]);
+        }
+        if (!n->leaf) visit(n->children[n->count], fn);
+    }
+
+    template <typename Fn>
+    void visit_range(const Node* n, const Key& from, const Key& to, Fn& fn) const {
+        if (!n) return;
+        const unsigned begin = lower_pos(n, from);
+        for (unsigned i = begin; i < n->count; ++i) {
+            if (!n->leaf) visit_range(n->children[i], from, to, fn);
+            if (comp_(n->keys[i], to) > 0) return;
+            fn(n->keys[i]);
+        }
+        if (!n->leaf) visit_range(n->children[n->count], from, to, fn);
+    }
+
+    static void destroy(Node* n) {
+        if (!n) return;
+        if (!n->leaf) {
+            for (unsigned i = 0; i <= n->count; ++i) destroy(n->children[i]);
+        }
+        delete n;
+    }
+
+    Node* root_ = nullptr;
+    std::size_t size_ = 0;
+    [[no_unique_address]] Compare comp_;
+};
+
+} // namespace dtree::baselines

@@ -1,0 +1,54 @@
+#pragma once
+
+// global_lock_set — the "external synchronisation" baseline (§4.2): any
+// sequential set made thread-safe by one big mutex around every operation.
+// The paper shows this — predictably — fails to scale at all; it is included
+// because it is what engine authors reach for first.
+
+#include <cstddef>
+#include <mutex>
+
+namespace dtree::baselines {
+
+template <typename Set>
+class global_lock_set {
+public:
+    using key_type = typename Set::key_type;
+
+    bool insert(const key_type& k) {
+        std::lock_guard guard(mutex_);
+        return set_.insert(k);
+    }
+
+    bool contains(const key_type& k) const {
+        std::lock_guard guard(mutex_);
+        return set_.contains(k);
+    }
+
+    std::size_t size() const {
+        std::lock_guard guard(mutex_);
+        return set_.size();
+    }
+
+    bool empty() const { return size() == 0; }
+
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        std::lock_guard guard(mutex_);
+        set_.for_each(fn);
+    }
+
+    void clear() {
+        std::lock_guard guard(mutex_);
+        set_.clear();
+    }
+
+    /// Unlocked access for the read-only phase (phase-concurrent reads).
+    const Set& unsynchronized() const { return set_; }
+
+private:
+    mutable std::mutex mutex_;
+    Set set_;
+};
+
+} // namespace dtree::baselines

@@ -1,0 +1,60 @@
+#pragma once
+
+// reduction_set — the parallel-reduction baseline (§4.2, "reduction btree"):
+// every thread inserts into a private sequential set; a final reduction step
+// merges the privates pairwise in parallel rounds (the OpenMP user-defined
+// reduction pattern the paper describes, realised with explicit threads so
+// the merge cost is measurable in isolation).
+//
+// The paper's analysis predicts — and Fig. 4 confirms — that this wins only
+// when per-thread insertion work dominates the terminal merge: random order,
+// few threads. Ordered insertion or many threads shrink the private phase
+// and the merge dominates.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace dtree::baselines {
+
+template <typename Set>
+class reduction_set {
+public:
+    using key_type = typename Set::key_type;
+
+    explicit reduction_set(unsigned threads) : locals_(threads) {
+        for (auto& l : locals_) l = std::make_unique<Set>();
+    }
+
+    unsigned threads() const { return static_cast<unsigned>(locals_.size()); }
+
+    /// Thread-private insert: no synchronisation by construction. The caller
+    /// must pass its own thread id.
+    bool insert(unsigned tid, const key_type& k) { return locals_[tid]->insert(k); }
+
+    /// Parallel pairwise reduction: in round r, thread i merges partition
+    /// i+2^r into partition i. O(log T) rounds; returns the merged set.
+    Set& reduce() {
+        std::size_t stride = 1;
+        const std::size_t n = locals_.size();
+        while (stride < n) {
+            const std::size_t pairs = (n - stride + 2 * stride - 1) / (2 * stride);
+            util::run_threads(static_cast<unsigned>(pairs), [&](unsigned p) {
+                const std::size_t dst = static_cast<std::size_t>(p) * 2 * stride;
+                const std::size_t src = dst + stride;
+                if (src < n) locals_[dst]->insert_all(*locals_[src]);
+            });
+            stride *= 2;
+        }
+        return *locals_[0];
+    }
+
+    const Set& result() const { return *locals_[0]; }
+
+private:
+    std::vector<std::unique_ptr<Set>> locals_;
+};
+
+} // namespace dtree::baselines

@@ -1,0 +1,855 @@
+#pragma once
+
+// The specialized concurrent B-tree for Datalog evaluation (paper §3).
+//
+// One template implements all four configurations the paper evaluates:
+//
+//   btree_set<K>           concurrent, with operation hints   ("btree")
+//   btree_set<K>           same tree, hints simply not passed ("btree (n/h)")
+//   seq_btree_set<K>       sequential: no locks, no atomics   ("seq btree")
+//   btree_multiset<K>      duplicate-preserving variant (Soufflé extension)
+//
+// Concurrency contract (the paper's phase-concurrent model, §2/§3.1):
+//   * insert() may be called from any number of threads concurrently with
+//     other insert() calls — full internal synchronisation via per-node
+//     optimistic read-write locks (Alg. 1) and bottom-up write-locked node
+//     splitting (Alg. 2);
+//   * find / contains / lower_bound / upper_bound / iteration / size are
+//     UNSYNCHRONISED and must not overlap with writers. Semi-naïve Datalog
+//     evaluation guarantees exactly this two-phase discipline;
+//   * there is no erase — Datalog relations only grow — which is what makes
+//     hint pointers permanently safe: nodes are never freed or moved while
+//     the tree lives.
+//
+// Operation hints (§3.2): each of the four frequent operations keeps the
+// leaf it last touched in an operation_hints object the caller owns (one per
+// thread). When the next key falls inside the cached leaf's key range, the
+// root-to-leaf traversal — and all its lock traffic — is skipped.
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/btree_detail.h"
+#include "core/comparator.h"
+#include "core/hints.h"
+#include "core/node_allocator.h"
+#include "core/optimistic_lock.h"
+#include "core/race_access.h"
+
+namespace dtree {
+
+template <typename Key,
+          typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key>,
+          typename Access = ConcurrentAccess,
+          bool AllowDuplicates = false,
+          typename Alloc = NewDeleteNodeAlloc<Key, BlockSize, Access>>
+class btree {
+    static_assert(BlockSize >= 3, "nodes must hold at least three keys");
+
+    using NodeT = detail::Node<Key, BlockSize, Access>;
+    using InnerT = detail::InnerNode<Key, BlockSize, Access>;
+    using Lease = OptimisticReadWriteLock::Lease;
+    static constexpr bool concurrent = Access::concurrent;
+
+public:
+    using key_type = Key;
+    using value_type = Key;
+    using const_iterator = detail::Iterator<Key, BlockSize, Access>;
+    using iterator = const_iterator; // keys are immutable once stored
+    static constexpr unsigned block_size = BlockSize;
+
+    // -- operation hints ----------------------------------------------------
+
+    /// Cached last-touched leaves, one slot per operation kind, plus hit/miss
+    /// statistics. One instance per thread; never shared. A hints object is
+    /// bound to the tree whose operations populated it: it must not be passed
+    /// to a different tree (a cached leaf of tree A that happens to cover a
+    /// key would misroute an insert into tree B), and it must not outlive
+    /// clear()/destruction of its tree. reset() detaches it safely.
+    class operation_hints {
+    public:
+        HintStats stats;
+
+        NodeT* get(HintKind k) const { return slots_[static_cast<unsigned>(k)]; }
+        void set(HintKind k, NodeT* leaf) { slots_[static_cast<unsigned>(k)] = leaf; }
+        void reset() { slots_[0] = slots_[1] = slots_[2] = slots_[3] = nullptr; }
+
+    private:
+        NodeT* slots_[4] = {nullptr, nullptr, nullptr, nullptr};
+    };
+
+    /// Factory for fresh hints (§3.2: "a factory function for initial
+    /// operation hints"); equivalent to default construction.
+    operation_hints create_hints() const { return operation_hints{}; }
+
+    // -- construction / destruction -----------------------------------------
+
+    btree() = default;
+
+    btree(const btree&) = delete;
+    btree& operator=(const btree&) = delete;
+
+    btree(btree&& other) noexcept { steal(other); }
+
+    btree& operator=(btree&& other) noexcept {
+        if (this != &other) {
+            clear();
+            steal(other);
+        }
+        return *this;
+    }
+
+    ~btree() { alloc_.release(root_.load()); }
+
+    /// Removes all elements and frees all nodes. NOT thread-safe; every hint
+    /// pointing into this tree becomes invalid and must be reset.
+    void clear() {
+        alloc_.release(root_.load());
+        root_.store(nullptr);
+    }
+
+    // -- insertion ----------------------------------------------------------
+
+    /// Inserts k; returns true iff the set changed (multiset: always true).
+    /// Thread-safe against concurrent insert() calls in the concurrent
+    /// instantiation.
+    bool insert(const Key& k) {
+        operation_hints h;
+        return insert(k, h);
+    }
+
+    /// Hinted insert: consults/updates the caller's cached leaf first.
+    bool insert(const Key& k, operation_hints& hints) {
+        if constexpr (concurrent) {
+            return insert_concurrent(k, hints);
+        } else {
+            return insert_sequential(k, hints);
+        }
+    }
+
+    /// Bulk insert of an ordered (or arbitrary) sequence, reusing one hint
+    /// across the whole run — the specialised-merge tuning of §3: when the
+    /// source is sorted, nearly every insert is a hint hit.
+    template <typename It>
+    void insert_all(It first, It last, operation_hints& hints) {
+        for (; first != last; ++first) insert(*first, hints);
+    }
+
+    template <typename It>
+    void insert_all(It first, It last) {
+        operation_hints h;
+        insert_all(first, last, h);
+    }
+
+    /// Merges another tree of the same type into this one, exploiting the
+    /// source tree's sorted iteration order.
+    template <typename OtherTree>
+    void insert_all(const OtherTree& other) {
+        operation_hints h;
+        insert_all(other.begin(), other.end(), h);
+    }
+
+    /// Bulk load: builds a packed tree from a SORTED random-access range in
+    /// O(n) — strictly increasing for sets, weakly for multisets (checked by
+    /// assertion). Every node is filled to BlockSize-1 keys (one slot of
+    /// slack so follow-up inserts do not split immediately), all leaves at
+    /// equal depth. Not thread-safe (construction).
+    template <typename It>
+    static btree from_sorted(It first, It last) {
+        btree out;
+        const std::size_t n = static_cast<std::size_t>(last - first);
+        if (n == 0) return out;
+#ifndef NDEBUG
+        for (std::size_t i = 0; i + 1 < n; ++i) {
+            const int c = out.comp_(first[i], first[i + 1]);
+            assert((AllowDuplicates ? c <= 0 : c < 0) && "from_sorted: input not sorted");
+        }
+#endif
+        unsigned depth = 0;
+        while (packed_capacity(depth) < n) ++depth;
+        out.root_.store(out.build_packed(first, 0, n, depth));
+        return out;
+    }
+
+private:
+    /// Maximum keys a packed subtree of the given depth holds (nodes filled
+    /// to BlockSize-1 keys).
+    static constexpr std::size_t packed_capacity(unsigned depth) {
+        std::size_t cap = BlockSize - 1;
+        for (unsigned d = 0; d < depth; ++d) {
+            cap = (BlockSize - 1) + BlockSize * cap;
+        }
+        return cap;
+    }
+
+    /// Builds a packed subtree over keys [lo, hi) of the input range; all
+    /// leaves end up at distance `depth` below the returned node.
+    template <typename It>
+    NodeT* build_packed(It input, std::size_t lo, std::size_t hi, unsigned depth) {
+        const std::size_t s = hi - lo;
+        if (depth == 0) {
+            assert(s >= 1 && s <= BlockSize);
+            NodeT* leaf = alloc_.make_leaf();
+            for (std::size_t i = 0; i < s; ++i) leaf->keys[i] = input[lo + i];
+            leaf->num_elements.store(static_cast<std::uint32_t>(s));
+            return leaf;
+        }
+        const std::size_t child_cap = packed_capacity(depth - 1);
+        // Fewest children that fit: c children absorb c*child_cap + (c-1)
+        // keys (the c-1 separators live in this node).
+        const std::size_t c =
+            std::max<std::size_t>(2, (s + 1 + child_cap) / (child_cap + 1));
+        assert(c <= BlockSize + 1);
+        InnerT* node = alloc_.make_inner();
+        const std::size_t r = s - (c - 1); // keys going into the children
+        std::size_t consumed = lo;
+        for (std::size_t i = 0; i < c; ++i) {
+            const std::size_t share = r / c + (i < r % c ? 1 : 0);
+            NodeT* child = build_packed(input, consumed, consumed + share, depth - 1);
+            consumed += share;
+            node->children[i].store(child);
+            child->parent.store(node);
+            child->position.store(static_cast<std::uint32_t>(i));
+            if (i + 1 < c) node->keys[i] = input[consumed++]; // separator
+        }
+        assert(consumed == hi);
+        node->num_elements.store(static_cast<std::uint32_t>(c - 1));
+        return node;
+    }
+
+public:
+
+    // -- queries (phase-concurrent: no active writers allowed) --------------
+
+    bool contains(const Key& k) const {
+        operation_hints h;
+        return contains(k, h);
+    }
+
+    bool contains(const Key& k, operation_hints& hints) const {
+        return find(k, hints) != end();
+    }
+
+    const_iterator find(const Key& k) const {
+        operation_hints h;
+        return find(k, h);
+    }
+
+    const_iterator find(const Key& k, operation_hints& hints) const {
+        const NodeT* cur = root_.load();
+        if (!cur) return end();
+        if (NodeT* leaf = hints.get(HintKind::Contains)) {
+            if (leaf_covers(leaf, k)) {
+                hints.stats.hit(HintKind::Contains);
+                const unsigned n = leaf->num_elements.load();
+                const unsigned pos = Search::template lower<Access>(leaf->keys, n, k, comp_);
+                if (pos < n && comp_.equal(Access::load(leaf->keys[pos]), k)) {
+                    return const_iterator(leaf, pos);
+                }
+                return end(); // the covering leaf would have to contain it
+            }
+            hints.stats.miss(HintKind::Contains);
+        }
+        for (;;) {
+            const unsigned n = cur->num_elements.load();
+            const unsigned pos = Search::template lower<Access>(cur->keys, n, k, comp_);
+            if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
+                if (!cur->inner) hints.set(HintKind::Contains, const_cast<NodeT*>(cur));
+                return const_iterator(cur, pos);
+            }
+            if (!cur->inner) {
+                hints.set(HintKind::Contains, const_cast<NodeT*>(cur));
+                return end();
+            }
+            cur = cur->as_inner()->children[pos].load();
+        }
+    }
+
+    /// First element >= k, or end().
+    const_iterator lower_bound(const Key& k) const {
+        operation_hints h;
+        return lower_bound(k, h);
+    }
+
+    const_iterator lower_bound(const Key& k, operation_hints& hints) const {
+        const NodeT* cur = root_.load();
+        if (!cur) return end();
+        if (NodeT* leaf = hints.get(HintKind::Lower)) {
+            const unsigned n = leaf->num_elements.load();
+            // k strictly inside the leaf's range => the answer is in the leaf
+            if (n > 0 && comp_(Access::load(leaf->keys[0]), k) <= 0 &&
+                comp_(k, Access::load(leaf->keys[n - 1])) <= 0) {
+                hints.stats.hit(HintKind::Lower);
+                const unsigned pos = Search::template lower<Access>(leaf->keys, n, k, comp_);
+                return const_iterator(leaf, pos);
+            }
+            hints.stats.miss(HintKind::Lower);
+        }
+        const_iterator best = end();
+        for (;;) {
+            const unsigned n = cur->num_elements.load();
+            const unsigned pos = Search::template lower<Access>(cur->keys, n, k, comp_);
+            if (!cur->inner) {
+                if (pos < n) {
+                    hints.set(HintKind::Lower, const_cast<NodeT*>(cur));
+                    return const_iterator(cur, pos);
+                }
+                return best;
+            }
+            if constexpr (!AllowDuplicates) {
+                // An equal separator IS the lower bound; for multisets the
+                // first duplicate may live in the left subtree, so descend.
+                if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
+                    return const_iterator(cur, pos);
+                }
+            }
+            if (pos < n) best = const_iterator(cur, pos);
+            cur = cur->as_inner()->children[pos].load();
+        }
+    }
+
+    /// First element > k, or end().
+    const_iterator upper_bound(const Key& k) const {
+        operation_hints h;
+        return upper_bound(k, h);
+    }
+
+    const_iterator upper_bound(const Key& k, operation_hints& hints) const {
+        const NodeT* cur = root_.load();
+        if (!cur) return end();
+        if (NodeT* leaf = hints.get(HintKind::Upper)) {
+            const unsigned n = leaf->num_elements.load();
+            // need k < last key so the strictly-greater element is local
+            if (n > 0 && comp_(Access::load(leaf->keys[0]), k) <= 0 &&
+                comp_(k, Access::load(leaf->keys[n - 1])) < 0) {
+                hints.stats.hit(HintKind::Upper);
+                const unsigned pos = Search::template upper<Access>(leaf->keys, n, k, comp_);
+                return const_iterator(leaf, pos);
+            }
+            hints.stats.miss(HintKind::Upper);
+        }
+        const_iterator best = end();
+        for (;;) {
+            const unsigned n = cur->num_elements.load();
+            const unsigned pos = Search::template upper<Access>(cur->keys, n, k, comp_);
+            if (!cur->inner) {
+                if (pos < n) {
+                    hints.set(HintKind::Upper, const_cast<NodeT*>(cur));
+                    return const_iterator(cur, pos);
+                }
+                return best;
+            }
+            if (pos < n) best = const_iterator(cur, pos);
+            cur = cur->as_inner()->children[pos].load();
+        }
+    }
+
+    const_iterator begin() const {
+        const NodeT* cur = root_.load();
+        if (!cur) return end();
+        while (cur->inner) cur = cur->as_inner()->children[0].load();
+        return const_iterator(cur, 0);
+    }
+
+    const_iterator end() const { return const_iterator(); }
+
+    bool empty() const { return root_.load() == nullptr; }
+
+    /// Number of stored elements. O(#nodes): counts are summed by a tree
+    /// walk; the concurrent tree deliberately maintains no global counter
+    /// (it would serialise parallel inserts on one cache line).
+    std::size_t size() const { return count_subtree(root_.load()); }
+
+    // -- introspection (tests, benches, EXPERIMENTS.md) ----------------------
+
+    struct tree_stats {
+        std::size_t elements = 0;
+        std::size_t inner_nodes = 0;
+        std::size_t leaf_nodes = 0;
+        std::size_t depth = 0;       // 1 = root-only
+        std::size_t memory_bytes = 0;
+    };
+
+    tree_stats stats() const {
+        tree_stats s;
+        collect_stats(root_.load(), 1, s);
+        return s;
+    }
+
+    /// Structural validation used by the test suite (sequential use only):
+    /// checks ordering, separator bounds, fill grades, parent/position
+    /// back-links and uniform leaf depth. Returns an empty string when the
+    /// tree is well-formed, else a description of the first violation.
+    std::string check_invariants() const {
+        const NodeT* r = root_.load();
+        if (!r) return {};
+        if (r->parent.load() != nullptr) return "root has a parent";
+        long leaf_depth = -1;
+        return check_node(r, nullptr, nullptr, 1, leaf_depth);
+    }
+
+private:
+    // -- sequential insertion -----------------------------------------------
+
+    bool insert_sequential(const Key& k, operation_hints& hints) {
+        NodeT* cur = root_.load();
+        if (!cur) {
+            NodeT* leaf = alloc_.make_leaf();
+            leaf->keys[0] = k;
+            leaf->num_elements.store(1);
+            root_.store(leaf);
+            hints.set(HintKind::Insert, leaf);
+            return true;
+        }
+
+        if (NodeT* h = hints.get(HintKind::Insert)) {
+            if (leaf_covers(h, k)) {
+                hints.stats.hit(HintKind::Insert);
+                cur = h;
+            } else {
+                hints.stats.miss(HintKind::Insert);
+            }
+        }
+
+        unsigned pos;
+        for (;;) {
+            const unsigned n = cur->num_elements.load();
+            pos = search_pos(cur->keys, n, k);
+            if constexpr (!AllowDuplicates) {
+                if (pos < n && comp_.equal(cur->keys[pos], k)) {
+                    if (!cur->inner) hints.set(HintKind::Insert, cur);
+                    return false;
+                }
+            }
+            if (!cur->inner) break;
+            cur = cur->as_inner()->children[pos].load();
+        }
+
+        if (cur->full()) {
+            split_and_propagate(cur);
+            // The leaf's key range halved; simply re-run the insert (the
+            // concurrent path restarts in exactly the same way).
+            return insert_sequential(k, hints);
+        }
+
+        const unsigned n = cur->num_elements.load();
+        for (unsigned i = n; i > pos; --i) cur->keys[i] = cur->keys[i - 1];
+        cur->keys[pos] = k;
+        cur->num_elements.store(n + 1);
+        hints.set(HintKind::Insert, cur);
+        return true;
+    }
+
+    // -- concurrent insertion (Alg. 1) ---------------------------------------
+
+    enum class LeafResult { Inserted, Duplicate, Retry };
+
+    bool insert_concurrent(const Key& k, operation_hints& hints) {
+        // Safe lazy initialisation of the root (Alg. 1 lines 2-9), fused with
+        // the first insertion.
+        while (root_.load() == nullptr) {
+            if (!root_lock_.try_start_write()) {
+                cpu_relax();
+                continue;
+            }
+            if (root_.load() == nullptr) {
+                NodeT* leaf = alloc_.make_leaf();
+                leaf->keys[0] = k; // unpublished: plain store is fine
+                leaf->num_elements.store(1);
+                root_.store(leaf);
+                root_lock_.end_write();
+                hints.set(HintKind::Insert, leaf);
+                return true;
+            }
+            root_lock_.abort_write(); // lost the race; nothing modified
+        }
+
+        // Hint fast path (§3.2): jump straight to the cached leaf.
+        if (NodeT* leaf = hints.get(HintKind::Insert)) {
+            const Lease lease = leaf->lock.start_read();
+            if (leaf_covers(leaf, k) && leaf->lock.validate(lease)) {
+                hints.stats.hit(HintKind::Insert);
+                const LeafResult r = leaf_insert(leaf, lease, k, hints);
+                if (r != LeafResult::Retry) return r == LeafResult::Inserted;
+            } else {
+                hints.stats.miss(HintKind::Insert);
+            }
+        }
+
+        for (;;) {
+            const std::optional<bool> done = try_insert_from_root(k, hints);
+            if (done) return *done;
+        }
+    }
+
+    /// One full optimistic descent attempt; nullopt means "conflict detected,
+    /// restart" (Alg. 1's goto restart).
+    std::optional<bool> try_insert_from_root(const Key& k, operation_hints& hints) {
+        // Safely obtain the root node and a lease on it (lines 13-17).
+        Lease root_lease, cur_lease;
+        NodeT* cur;
+        do {
+            root_lease = root_lock_.start_read();
+            cur = root_.load();
+            cur_lease = cur->lock.start_read();
+        } while (!root_lock_.end_read(root_lease));
+
+        // Descend (lines 20-33).
+        for (;;) {
+            const unsigned n = cur->num_elements.load();
+            const unsigned pos = search_pos_racy(cur->keys, n, k);
+            if constexpr (!AllowDuplicates) {
+                // Early containment check (line 22).
+                if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
+                    if (!cur->lock.validate(cur_lease)) return std::nullopt;
+                    if (!cur->inner) hints.set(HintKind::Insert, cur);
+                    return false;
+                }
+            }
+            if (cur->inner) {
+                NodeT* next = cur->as_inner()->children[pos].load();
+                // Validate before dereferencing the child pointer: only a
+                // committed pointer is guaranteed to reference a node.
+                if (!cur->lock.validate(cur_lease)) return std::nullopt;
+                const Lease next_lease = next->lock.start_read();
+                if (!cur->lock.validate(cur_lease)) return std::nullopt;
+                cur = next;
+                cur_lease = next_lease;
+                continue;
+            }
+            // Located the target leaf (lines 35-47).
+            const LeafResult r = leaf_insert(cur, cur_lease, k, hints);
+            switch (r) {
+                case LeafResult::Inserted: return true;
+                case LeafResult::Duplicate: return false;
+                case LeafResult::Retry: return std::nullopt;
+            }
+        }
+    }
+
+    /// Attempts the write phase on a leaf whose read lease is still pending
+    /// validation. Returns Retry on any conflict (including a required
+    /// split, after performing it — Alg. 1 lines 39-43).
+    LeafResult leaf_insert(NodeT* leaf, Lease lease, const Key& k,
+                           operation_hints& hints) {
+        const unsigned n = leaf->num_elements.load();
+        if (n > BlockSize) return LeafResult::Retry; // torn read; impossible once validated
+        const unsigned pos = search_pos_racy(leaf->keys, n, k);
+        if constexpr (!AllowDuplicates) {
+            if (pos < n && comp_.equal(Access::load(leaf->keys[pos]), k)) {
+                if (!leaf->lock.validate(lease)) return LeafResult::Retry;
+                // Duplicate inserts are the common case in Datalog (semi-naïve
+                // evaluation re-derives tuples constantly); remember the leaf
+                // so the next nearby duplicate skips the traversal too.
+                hints.set(HintKind::Insert, leaf);
+                return LeafResult::Duplicate;
+            }
+        }
+        if (!leaf->lock.try_upgrade_to_write(lease)) return LeafResult::Retry;
+        // Lease validated atomically by the upgrade: n and pos are accurate.
+        if (leaf->full()) {
+            split_concurrent(leaf);
+            leaf->lock.end_write();
+            return LeafResult::Retry;
+        }
+        for (unsigned i = n; i > pos; --i) {
+            Access::store(leaf->keys[i], leaf->keys[i - 1]);
+        }
+        Access::store(leaf->keys[pos], k);
+        leaf->num_elements.store(n + 1);
+        leaf->lock.end_write();
+        hints.set(HintKind::Insert, leaf);
+        return LeafResult::Inserted;
+    }
+
+    // -- node splitting -------------------------------------------------------
+
+    /// Concurrent split (Alg. 2): write-locks the ancestor path bottom-up
+    /// (every full ancestor plus the first non-full one, or the tree's root
+    /// lock), performs the structural split, then unlocks top-down.
+    /// Precondition: `node` is write-locked by the caller and full.
+    void split_concurrent(NodeT* node) {
+        // Phase 1: lock the path bottom-up (lines 2-23). nullptr in `path`
+        // denotes the tree's root lock.
+        InnerT* path[64]; // bounded by tree depth; 64 levels is unreachable
+        unsigned depth = 0;
+        NodeT* cur = node;
+        for (;;) {
+            InnerT* parent = cur->parent.load();
+            for (;;) {
+                if (parent) {
+                    parent->lock.start_write();
+                    if (parent == cur->parent.load()) break;
+                    parent->lock.abort_write();
+                    parent = cur->parent.load();
+                } else {
+                    root_lock_.start_write();
+                    if (cur->parent.load() == nullptr) break;
+                    root_lock_.abort_write();
+                    parent = cur->parent.load();
+                }
+            }
+            assert(depth < 64);
+            path[depth++] = parent;
+            if (!parent || !parent->full()) break;
+            cur = parent;
+        }
+
+        // Phase 2: the actual split, with exclusive access to everything it
+        // will touch (line 26).
+        split_and_propagate(node);
+
+        // Phase 3: unlock top-down (lines 28-35).
+        for (unsigned i = depth; i-- > 0;) {
+            if (path[i]) {
+                path[i]->lock.end_write();
+            } else {
+                root_lock_.end_write();
+            }
+        }
+    }
+
+    /// Structural split of a full node; shared by the sequential path (called
+    /// directly) and the concurrent path (called with all affected nodes
+    /// write-locked). Keeps the lower half in `node`, moves the upper half to
+    /// a fresh right sibling, promotes the median to the parent — splitting
+    /// full parents recursively (they are locked, see split_concurrent).
+    void split_and_propagate(NodeT* node) {
+        assert(node->full());
+        constexpr unsigned mid = BlockSize / 2;
+        const Key median = node->keys[mid]; // we are the only writer: plain read
+
+        NodeT* sibling = node->inner ? static_cast<NodeT*>(alloc_.make_inner())
+                                     : alloc_.make_leaf();
+        const unsigned moved = BlockSize - mid - 1;
+        for (unsigned i = 0; i < moved; ++i) {
+            sibling->keys[i] = node->keys[mid + 1 + i]; // sibling unpublished
+        }
+        if (node->inner) {
+            InnerT* in = node->as_inner();
+            InnerT* sib = sibling->as_inner();
+            for (unsigned i = 0; i <= moved; ++i) {
+                NodeT* child = in->children[mid + 1 + i].load();
+                sib->children[i].store(child);
+                child->parent.store(sib);
+                child->position.store(i);
+            }
+        }
+        sibling->num_elements.store(moved);
+        node->num_elements.store(mid); // racy readers re-validate
+
+        InnerT* parent = node->parent.load();
+        if (!parent) {
+            // node was the root: grow the tree (root lock is held /
+            // sequential mode has exclusive access anyway).
+            InnerT* new_root = alloc_.make_inner();
+            new_root->keys[0] = median;
+            new_root->children[0].store(node);
+            new_root->children[1].store(sibling);
+            new_root->num_elements.store(1);
+            node->parent.store(new_root);
+            node->position.store(0);
+            sibling->parent.store(new_root);
+            sibling->position.store(1);
+            root_.store(new_root);
+            return;
+        }
+        if (parent->full()) {
+            split_and_propagate(parent);
+            // The parent's split may have rehomed `node` under the parent's
+            // new sibling; its parent/position fields are up to date (we hold
+            // the necessary locks in concurrent mode).
+            parent = node->parent.load();
+        }
+        insert_child(parent, node->position.load(), median, sibling);
+    }
+
+    /// Inserts (median, right_child) into a non-full inner node directly
+    /// after child position `pos`. Exclusive access required.
+    void insert_child(InnerT* parent, unsigned pos, const Key& median,
+                      NodeT* right_child) {
+        const unsigned n = parent->num_elements.load();
+        assert(n < BlockSize);
+        for (unsigned i = n; i > pos; --i) {
+            Access::store(parent->keys[i], parent->keys[i - 1]);
+        }
+        for (unsigned i = n + 1; i > pos + 1; --i) {
+            NodeT* c = parent->children[i - 1].load();
+            parent->children[i].store(c);
+            c->position.store(i);
+        }
+        Access::store(parent->keys[pos], median);
+        parent->children[pos + 1].store(right_child);
+        right_child->parent.store(parent);
+        right_child->position.store(pos + 1);
+        parent->num_elements.store(n + 1);
+    }
+
+    // -- helpers --------------------------------------------------------------
+
+    /// Does the (leaf) node's current key range contain k? Uses racy loads;
+    /// concurrent callers must validate the node's lease afterwards.
+    bool leaf_covers(const NodeT* leaf, const Key& k) const {
+        const unsigned n = leaf->num_elements.load();
+        if (n == 0 || n > BlockSize) return false;
+        return comp_(Access::load(leaf->keys[0]), k) <= 0 &&
+               comp_(k, Access::load(leaf->keys[n - 1])) <= 0;
+    }
+
+    /// In-node search position: lower bound for sets (duplicates rejected),
+    /// upper bound for multisets (duplicates cluster to the right).
+    unsigned search_pos(const Key* keys, unsigned n, const Key& k) const {
+        if constexpr (AllowDuplicates) {
+            return Search::template upper<SeqAccess>(keys, n, k, comp_);
+        } else {
+            return Search::template lower<SeqAccess>(keys, n, k, comp_);
+        }
+    }
+
+    unsigned search_pos_racy(const Key* keys, unsigned n, const Key& k) const {
+        if constexpr (AllowDuplicates) {
+            return Search::template upper<Access>(keys, n, k, comp_);
+        } else {
+            return Search::template lower<Access>(keys, n, k, comp_);
+        }
+    }
+
+    static std::size_t count_subtree(const NodeT* n) {
+        if (!n) return 0;
+        std::size_t total = n->num_elements.load();
+        if (n->inner) {
+            const InnerT* in = n->as_inner();
+            for (unsigned i = 0; i <= in->num_elements.load(); ++i) {
+                total += count_subtree(in->children[i].load());
+            }
+        }
+        return total;
+    }
+
+    static void collect_stats(const NodeT* n, std::size_t depth, tree_stats& s) {
+        if (!n) return;
+        s.elements += n->num_elements.load();
+        s.depth = std::max(s.depth, depth);
+        if (n->inner) {
+            ++s.inner_nodes;
+            s.memory_bytes += sizeof(InnerT);
+            const InnerT* in = n->as_inner();
+            for (unsigned i = 0; i <= in->num_elements.load(); ++i) {
+                collect_stats(in->children[i].load(), depth + 1, s);
+            }
+        } else {
+            ++s.leaf_nodes;
+            s.memory_bytes += sizeof(NodeT);
+        }
+    }
+
+    std::string check_node(const NodeT* n, const Key* lo, const Key* hi,
+                           long depth, long& leaf_depth) const {
+        const unsigned cnt = n->num_elements.load();
+        if (cnt == 0) return "empty node";
+        if (cnt > BlockSize) return "over-full node";
+        // Every non-root node was produced by a median split and can only
+        // have grown since: minimum fill is BlockSize/2 - 1.
+        if (n->parent.load() != nullptr && cnt + 1 < BlockSize / 2) {
+            return "under-filled node";
+        }
+        for (unsigned i = 0; i + 1 < cnt; ++i) {
+            const int c = comp_(n->keys[i], n->keys[i + 1]);
+            if (c > 0 || (!AllowDuplicates && c == 0)) return "unsorted keys";
+        }
+        // Separator bounds: child keys lie strictly between the surrounding
+        // separators for sets, weakly for multisets.
+        if (lo) {
+            const int c = comp_(*lo, n->keys[0]);
+            if (c > 0 || (!AllowDuplicates && c == 0)) return "key below subtree lower bound";
+        }
+        if (hi) {
+            const int c = comp_(n->keys[cnt - 1], *hi);
+            if (c > 0 || (!AllowDuplicates && c == 0)) return "key above subtree upper bound";
+        }
+        if (!n->inner) {
+            if (leaf_depth == -1) leaf_depth = depth;
+            if (leaf_depth != depth) return "leaves at different depths";
+            return {};
+        }
+        const InnerT* in = n->as_inner();
+        for (unsigned i = 0; i <= cnt; ++i) {
+            const NodeT* child = in->children[i].load();
+            if (!child) return "missing child";
+            if (child->parent.load() != in) return "bad parent back-link";
+            if (child->position.load() != i) return "bad position back-link";
+            const Key* clo = (i == 0) ? lo : &n->keys[i - 1];
+            const Key* chi = (i == cnt) ? hi : &n->keys[i];
+            if (auto err = check_node(child, clo, chi, depth + 1, leaf_depth);
+                !err.empty()) {
+                return err;
+            }
+        }
+        return {};
+    }
+
+    void steal(btree& other) {
+        root_.store(other.root_.load());
+        other.root_.store(nullptr);
+        alloc_ = std::move(other.alloc_);
+    }
+
+    // -- state ---------------------------------------------------------------
+
+    /// Root pointer; protected by root_lock_ (§3.1: "an additional root_lock
+    /// protects the root node pointer").
+    relaxed_value<NodeT*, concurrent> root_{nullptr};
+    OptimisticReadWriteLock root_lock_;
+    [[no_unique_address]] Compare comp_;
+    [[no_unique_address]] Alloc alloc_;
+};
+
+// ---------------------------------------------------------------------------
+// Public aliases — the configurations named in the paper's evaluation.
+// ---------------------------------------------------------------------------
+
+/// "btree": the concurrent set (pass operation_hints for the hinted flavour).
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key>>
+using btree_set = btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false>;
+
+/// "seq btree": identical structure, zero synchronisation cost.
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key>>
+using seq_btree_set = btree<Key, Compare, BlockSize, Search, SeqAccess, false>;
+
+/// Duplicate-preserving variants (Soufflé extension; not benchmarked in the
+/// paper but part of the deployed data structure family).
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key>>
+using btree_multiset = btree<Key, Compare, BlockSize, Search, ConcurrentAccess, true>;
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key>>
+using seq_btree_multiset = btree<Key, Compare, BlockSize, Search, SeqAccess, true>;
+
+/// Arena-allocated variant: node allocation is a bump pointer, release is
+/// wholesale (see node_allocator.h; bench/ablation_allocator).
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key>>
+using arena_btree_set = btree<Key, Compare, BlockSize, Search, ConcurrentAccess,
+                              false, ArenaNodeAlloc<Key, BlockSize, ConcurrentAccess>>;
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key>>
+using arena_seq_btree_set = btree<Key, Compare, BlockSize, Search, SeqAccess,
+                                  false, ArenaNodeAlloc<Key, BlockSize, SeqAccess>>;
+
+} // namespace dtree

@@ -1,0 +1,251 @@
+#pragma once
+
+// Node machinery, in-node search policies, and the in-order iterator of the
+// specialized B-tree (§3). This is a *classic* B-tree — keys live in inner
+// nodes too — matching the structure the paper describes: a split keeps half
+// of the keys in the existing node, moves half to a new sibling, and promotes
+// the median to the parent.
+//
+// Concurrency-relevant layout rules (§3.1):
+//   * every node carries its own OptimisticReadWriteLock;
+//   * a node's keys, element count and child pointers are protected by the
+//     node's own lock;
+//   * a node's parent pointer and position-in-parent are protected by the
+//     *parent's* lock (or the tree's root lock for the root node);
+//   * nodes are never freed or moved while the tree lives, so stale pointers
+//     read under a failed lease are always safe to *hold* (never to use).
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "core/optimistic_lock.h"
+#include "core/race_access.h"
+
+namespace dtree::detail {
+
+/// Default number of keys per node: targets ~512 bytes of key payload, the
+/// sweet spot found by the ablation_node_size bench (several cache lines per
+/// node amortise the per-node traversal cost; cf. Google's btree defaults).
+template <typename Key>
+constexpr unsigned default_block_size() {
+    constexpr std::size_t target = 512;
+    constexpr std::size_t n = target / sizeof(Key);
+    return n < 3 ? 3u : static_cast<unsigned>(n);
+}
+
+// ---------------------------------------------------------------------------
+// Nodes
+// ---------------------------------------------------------------------------
+
+template <typename Key, unsigned BlockSize, typename Access>
+struct InnerNode;
+
+/// Common node header + key storage. Leaf nodes are exactly this; inner
+/// nodes extend it with a child-pointer array.
+template <typename Key, unsigned BlockSize, typename Access>
+struct Node {
+    static constexpr bool concurrent = Access::concurrent;
+    using Inner = InnerNode<Key, BlockSize, Access>;
+
+    /// Per-node optimistic read-write lock (unused by the sequential
+    /// instantiation; one idle word keeps the layouts identical).
+    OptimisticReadWriteLock lock;
+
+    /// Parent node, or nullptr for the root. Protected by the parent's lock.
+    relaxed_value<Inner*, concurrent> parent{nullptr};
+
+    /// Index of this node within parent->children. Protected by the parent's
+    /// lock.
+    relaxed_value<std::uint32_t, concurrent> position{0};
+
+    /// Number of valid keys in keys[]. Protected by this node's lock.
+    relaxed_value<std::uint32_t, concurrent> num_elements{0};
+
+    /// Immutable after construction; distinguishes Inner from leaf nodes.
+    const bool inner;
+
+    /// Key storage; slots [0, num_elements) are valid. Protected by this
+    /// node's lock; racy readers copy elements via Access and validate.
+    Key keys[BlockSize];
+
+    explicit Node(bool is_inner) : inner(is_inner) {}
+
+    std::uint32_t size() const { return num_elements.load(); }
+    bool full() const { return size() == BlockSize; }
+
+    Inner* as_inner() {
+        assert(inner);
+        return static_cast<Inner*>(this);
+    }
+    const Inner* as_inner() const {
+        assert(inner);
+        return static_cast<const Inner*>(this);
+    }
+};
+
+template <typename Key, unsigned BlockSize, typename Access>
+struct InnerNode : Node<Key, BlockSize, Access> {
+    using Base = Node<Key, BlockSize, Access>;
+    static constexpr bool concurrent = Access::concurrent;
+
+    /// children[i] precedes keys[i]; children[num_elements] is the last.
+    /// Protected by this node's lock.
+    relaxed_value<Base*, concurrent> children[BlockSize + 1];
+
+    InnerNode() : Base(/*is_inner=*/true) {
+        for (auto& c : children) c.store(nullptr);
+    }
+};
+
+/// Frees a node and, recursively, everything below it. Only safe without
+/// concurrent users (destructor / clear()).
+template <typename Key, unsigned BlockSize, typename Access>
+void free_subtree(Node<Key, BlockSize, Access>* n) {
+    if (!n) return;
+    if (n->inner) {
+        auto* in = n->as_inner();
+        const std::uint32_t cnt = in->num_elements.load();
+        for (std::uint32_t i = 0; i <= cnt; ++i) free_subtree(in->children[i].load());
+        delete in;
+    } else {
+        delete n;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-node search policies (ablation: bench/ablation_search)
+// ---------------------------------------------------------------------------
+
+/// Linear scan with the 3-way comparator. For small nodes and cheap keys the
+/// branch predictor makes this faster than binary search.
+struct LinearSearch {
+    /// First index in [0, n) whose key is >= k, else n.
+    template <typename Access, typename Key, typename Comp>
+    static unsigned lower(const Key* keys, unsigned n, const Key& k, const Comp& comp) {
+        unsigned i = 0;
+        while (i < n && comp(Access::load(keys[i]), k) < 0) ++i;
+        return i;
+    }
+
+    /// First index in [0, n) whose key is > k, else n.
+    template <typename Access, typename Key, typename Comp>
+    static unsigned upper(const Key* keys, unsigned n, const Key& k, const Comp& comp) {
+        unsigned i = 0;
+        while (i < n && comp(Access::load(keys[i]), k) <= 0) ++i;
+        return i;
+    }
+};
+
+/// Binary search; O(log B) comparisons per node, the right choice for wide
+/// nodes and expensive comparators.
+struct BinarySearch {
+    template <typename Access, typename Key, typename Comp>
+    static unsigned lower(const Key* keys, unsigned n, const Key& k, const Comp& comp) {
+        unsigned lo = 0, hi = n;
+        while (lo < hi) {
+            const unsigned mid = lo + (hi - lo) / 2;
+            if (comp(Access::load(keys[mid]), k) < 0) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    template <typename Access, typename Key, typename Comp>
+    static unsigned upper(const Key* keys, unsigned n, const Key& k, const Comp& comp) {
+        unsigned lo = 0, hi = n;
+        while (lo < hi) {
+            const unsigned mid = lo + (hi - lo) / 2;
+            if (comp(Access::load(keys[mid]), k) <= 0) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+};
+
+/// Default in-node search policy, chosen per key type: bench/ablation_search
+/// shows the branch-predictable linear scan winning up to a few dozen keys
+/// per node (the regime of tuple keys), while the wide nodes small scalar
+/// keys get (e.g. 128 x uint32) need binary search.
+template <typename Key>
+using DefaultSearch =
+    std::conditional_t<(default_block_size<Key>() <= 48), LinearSearch, BinarySearch>;
+
+// ---------------------------------------------------------------------------
+// Iterator
+// ---------------------------------------------------------------------------
+
+/// Forward in-order iterator over a (phase-concurrently read) B-tree.
+/// Holds (node, index); incrementing performs the classic in-order walk:
+/// after consuming an inner key, descend to the leftmost leaf of the right
+/// child; after the last key of a leaf, climb until a pending separator key
+/// is found. Iteration is only defined while no writer is active (§2's
+/// two-phase guarantee).
+template <typename Key, unsigned BlockSize, typename Access>
+class Iterator {
+public:
+    using NodeT = Node<Key, BlockSize, Access>;
+    using value_type = Key;
+    using reference = const Key&;
+    using pointer = const Key*;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    Iterator() = default;
+    Iterator(const NodeT* node, unsigned pos) : node_(node), pos_(pos) {}
+
+    reference operator*() const { return node_->keys[pos_]; }
+    pointer operator->() const { return &node_->keys[pos_]; }
+
+    Iterator& operator++() {
+        if (node_->inner) {
+            // Consumed separator keys[pos_]; next is the smallest key of the
+            // right child's subtree.
+            const NodeT* n = node_->as_inner()->children[pos_ + 1].load();
+            while (n->inner) n = n->as_inner()->children[0].load();
+            node_ = n;
+            pos_ = 0;
+        } else {
+            ++pos_;
+            climb_exhausted();
+        }
+        return *this;
+    }
+
+    Iterator operator++(int) {
+        Iterator tmp = *this;
+        ++*this;
+        return tmp;
+    }
+
+    friend bool operator==(const Iterator& a, const Iterator& b) {
+        return a.node_ == b.node_ && a.pos_ == b.pos_;
+    }
+
+    const NodeT* node() const { return node_; }
+    unsigned pos() const { return pos_; }
+
+private:
+    /// While positioned one past the last key of a node, climb to the parent
+    /// separator; reaching one past the root means end().
+    void climb_exhausted() {
+        while (node_ && pos_ == node_->num_elements.load()) {
+            const NodeT* parent = node_->parent.load();
+            pos_ = node_->position.load();
+            node_ = parent;
+        }
+        if (!node_) pos_ = 0; // normalise to end()
+    }
+
+    const NodeT* node_ = nullptr;
+    unsigned pos_ = 0;
+};
+
+} // namespace dtree::detail

@@ -1,0 +1,213 @@
+#pragma once
+
+// eqrel — an equivalence-relation data structure, the companion of the
+// specialized B-tree in Soufflé's data-structure family (cf. "Fast Parallel
+// Equivalence Relations in a Datalog Compiler", Nappa et al.). A Datalog
+// relation declared as an equivalence (reflexive + symmetric + transitive)
+// would need O(c²) B-tree tuples per c-element class; this structure stores
+// the same information as a union-find forest in O(n) and answers
+// membership in near-constant time.
+//
+// Concurrency model (consistent with the rest of this repository):
+//   * insert(a, b) — thread-safe lock-free union (CAS on parent pointers,
+//     path halving); element interning takes a short spinlock.
+//   * contains / size / iteration — phase-concurrent: may race with inserts
+//     only in the weak sense that a concurrently-merged pair may be reported
+//     either way; classes never split, so positive answers are stable.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/tuple.h"
+#include "util/spinlock.h"
+
+namespace dtree {
+
+class eqrel {
+    using Dense = std::uint32_t;
+
+public:
+    using value_type = Tuple<2>;
+
+    eqrel() = default;
+    eqrel(const eqrel&) = delete;
+    eqrel& operator=(const eqrel&) = delete;
+    ~eqrel() { release_blocks(); }
+
+    /// Asserts a ~ b. Returns true iff this merged two previously distinct
+    /// classes (i.e. the relation grew). Thread-safe.
+    bool insert(RamDomain a, RamDomain b) {
+        const Dense da = intern(a);
+        const Dense db = intern(b);
+        return union_classes(da, db);
+    }
+
+    bool insert(const Tuple<2>& t) { return insert(t[0], t[1]); }
+
+    /// Is a ~ b? Unknown elements are only related to themselves.
+    bool contains(RamDomain a, RamDomain b) const {
+        if (a == b) return true;
+        const Dense da = lookup(a);
+        const Dense db = lookup(b);
+        if (da == kMissing || db == kMissing) return false;
+        return find(da) == find(db);
+    }
+
+    bool contains(const Tuple<2>& t) const { return contains(t[0], t[1]); }
+
+    /// Number of interned elements.
+    std::size_t element_count() const {
+        std::lock_guard guard(map_lock_);
+        return values_.size();
+    }
+
+    /// Number of (a, b) pairs in the represented relation — the size the
+    /// equivalent B-tree relation would have: sum over classes of |c|².
+    /// Phase-concurrent; O(n).
+    std::size_t size() const {
+        std::size_t total = 0;
+        for (const auto& cls : classes()) total += cls.size() * cls.size();
+        return total;
+    }
+
+    bool empty() const { return element_count() == 0; }
+
+    /// Visits every pair (a, b) with a ~ b, including the reflexive ones, in
+    /// class order. Phase-concurrent; materialises one class at a time.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (const auto& cls : classes()) {
+            for (RamDomain a : cls) {
+                for (RamDomain b : cls) fn(Tuple<2>{a, b});
+            }
+        }
+    }
+
+    /// The canonical representative of a's class (the element interned
+    /// earliest wins). Unknown elements represent themselves.
+    RamDomain representative(RamDomain a) const {
+        const Dense da = lookup(a);
+        if (da == kMissing) return a;
+        std::lock_guard guard(map_lock_);
+        return values_[find(da)];
+    }
+
+    /// NOT thread-safe (like the B-tree's clear()).
+    void clear() {
+        std::lock_guard guard(map_lock_);
+        dense_.clear();
+        values_.clear();
+        release_blocks();
+    }
+
+    /// All equivalence classes as element lists (phase-concurrent).
+    std::vector<std::vector<RamDomain>> classes() const {
+        std::lock_guard guard(map_lock_);
+        const std::size_t n = values_.size();
+        std::unordered_map<Dense, std::size_t> root_index;
+        std::vector<std::vector<RamDomain>> out;
+        for (Dense i = 0; i < n; ++i) {
+            const Dense r = find(i);
+            auto [it, fresh] = root_index.emplace(r, out.size());
+            if (fresh) out.emplace_back();
+            out[it->second].push_back(values_[i]);
+        }
+        return out;
+    }
+
+private:
+    static constexpr Dense kMissing = ~Dense{0};
+
+    Dense intern(RamDomain v) {
+        std::lock_guard guard(map_lock_);
+        auto it = dense_.find(v);
+        if (it != dense_.end()) return it->second;
+        const Dense id = static_cast<Dense>(values_.size());
+        if (id >= kMaxBlocks * kBlockSize) {
+            throw std::length_error("eqrel: element capacity exceeded");
+        }
+        dense_.emplace(v, id);
+        values_.push_back(v);
+        // Parent slot: blocks are allocated once and never move, so lock-free
+        // readers can chase parent pointers while other elements intern.
+        const std::size_t block = id >> kBlockBits;
+        if (!dir_[block].load(std::memory_order_relaxed)) {
+            auto* fresh = new std::atomic<Dense>[kBlockSize];
+            dir_[block].store(fresh, std::memory_order_release);
+        }
+        slot(id).store(id, std::memory_order_release);
+        return id;
+    }
+
+    Dense lookup(RamDomain v) const {
+        std::lock_guard guard(map_lock_);
+        auto it = dense_.find(v);
+        return it == dense_.end() ? kMissing : it->second;
+    }
+
+    /// Lock-free find with path halving; safe to run concurrently with
+    /// unions (parents only ever move towards smaller ids).
+    Dense find(Dense x) const {
+        for (;;) {
+            Dense p = slot(x).load(std::memory_order_acquire);
+            if (p == x) return x;
+            const Dense gp = slot(p).load(std::memory_order_acquire);
+            if (p != gp) {
+                // Path halving: harmless if it fails.
+                Dense expected = p;
+                slot(x).compare_exchange_weak(expected, gp, std::memory_order_release,
+                                              std::memory_order_relaxed);
+            }
+            x = p;
+        }
+    }
+
+    /// Lock-free union: the smaller dense id (= earlier-interned element)
+    /// becomes the root, making representatives deterministic under
+    /// sequential use.
+    bool union_classes(Dense a, Dense b) {
+        for (;;) {
+            Dense ra = find(a);
+            Dense rb = find(b);
+            if (ra == rb) return false;
+            if (ra > rb) std::swap(ra, rb);
+            Dense expected = rb;
+            if (slot(rb).compare_exchange_strong(expected, ra,
+                                                 std::memory_order_acq_rel,
+                                                 std::memory_order_relaxed)) {
+                return true;
+            }
+            // rb gained a parent concurrently; retry with fresh roots.
+        }
+    }
+
+    // Two-level parent storage: a fixed directory of once-allocated blocks,
+    // so growth (under map_lock_) never moves or invalidates the slots that
+    // lock-free find/union traverse concurrently.
+    static constexpr unsigned kBlockBits = 12;
+    static constexpr std::size_t kBlockSize = std::size_t{1} << kBlockBits;
+    static constexpr std::size_t kMaxBlocks = std::size_t{1} << 14; // 2^26 elements
+
+    std::atomic<Dense>& slot(Dense i) const {
+        return dir_[i >> kBlockBits].load(std::memory_order_acquire)[i & (kBlockSize - 1)];
+    }
+
+    void release_blocks() {
+        for (std::size_t b = 0; b < kMaxBlocks; ++b) {
+            delete[] dir_[b].exchange(nullptr, std::memory_order_relaxed);
+        }
+    }
+
+    mutable util::Spinlock map_lock_;
+    std::unordered_map<RamDomain, Dense> dense_;
+    std::vector<RamDomain> values_;
+    mutable std::unique_ptr<std::atomic<std::atomic<Dense>*>[]> dir_ =
+        std::make_unique<std::atomic<std::atomic<Dense>*>[]>(kMaxBlocks);
+};
+
+} // namespace dtree

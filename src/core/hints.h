@@ -1,0 +1,61 @@
+#pragma once
+
+// Operation-hint statistics (paper §3.2 and §4.3).
+//
+// Hints cache the leaf node an operation last touched; when the next
+// operation's key falls into the cached leaf's key range, the whole root-to-
+// leaf traversal is skipped. The paper reports hint *hit rates* for its
+// real-world workloads (54%/52% for Doop, 77%/76% for the EC2 analysis), so
+// the hint object counts hits and misses per operation kind. Hints live in
+// thread-local (or stack) storage: the counters are unsynchronised on
+// purpose — each thread owns its hints, aggregate at the end.
+
+#include <cstdint>
+#include <ostream>
+
+namespace dtree {
+
+/// Which operation a hint slot serves. Each of the four most frequent
+/// operations maintains its own cached leaf (§3.2: "tracing located nodes
+/// independently").
+enum class HintKind : unsigned { Insert = 0, Contains = 1, Lower = 2, Upper = 3 };
+
+struct HintStats {
+    std::uint64_t hits[4] = {0, 0, 0, 0};
+    std::uint64_t misses[4] = {0, 0, 0, 0};
+
+    void hit(HintKind k) { ++hits[static_cast<unsigned>(k)]; }
+    void miss(HintKind k) { ++misses[static_cast<unsigned>(k)]; }
+
+    std::uint64_t total_hits() const {
+        return hits[0] + hits[1] + hits[2] + hits[3];
+    }
+    std::uint64_t total_misses() const {
+        return misses[0] + misses[1] + misses[2] + misses[3];
+    }
+
+    /// Fraction of hinted operations that skipped the tree traversal.
+    double hit_rate() const {
+        const auto total = total_hits() + total_misses();
+        return total == 0 ? 0.0 : static_cast<double>(total_hits()) / static_cast<double>(total);
+    }
+
+    HintStats& operator+=(const HintStats& o) {
+        for (int i = 0; i < 4; ++i) {
+            hits[i] += o.hits[i];
+            misses[i] += o.misses[i];
+        }
+        return *this;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const HintStats& s) {
+        static const char* names[4] = {"insert", "contains", "lower_bound", "upper_bound"};
+        for (int i = 0; i < 4; ++i) {
+            os << names[i] << ": " << s.hits[i] << " hits / " << s.misses[i]
+               << " misses\n";
+        }
+        return os << "overall hit rate: " << s.hit_rate() << "\n";
+    }
+};
+
+} // namespace dtree

@@ -1,0 +1,105 @@
+#pragma once
+
+// Node allocation policies for the B-tree.
+//
+// The tree's "nodes are never freed or moved" guarantee (§3.2 — it is what
+// keeps hint pointers valid forever) makes node allocation a perfect match
+// for an arena: allocation is a bump, deallocation happens wholesale when
+// the tree dies. bench/ablation_allocator quantifies what that saves over
+// the default operator new on allocation-heavy (random insertion) loads.
+//
+// Policies provide make_leaf()/make_inner()/release(root) and must be safe
+// to call from concurrent insert() paths.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/btree_detail.h"
+#include "util/spinlock.h"
+
+namespace dtree {
+
+/// Default policy: plain new/delete (thread-safe by the C++ runtime).
+template <typename Key, unsigned BlockSize, typename Access>
+struct NewDeleteNodeAlloc {
+    using NodeT = detail::Node<Key, BlockSize, Access>;
+    using InnerT = detail::InnerNode<Key, BlockSize, Access>;
+
+    NodeT* make_leaf() { return new NodeT(/*is_inner=*/false); }
+    InnerT* make_inner() { return new InnerT(); }
+
+    /// Frees the whole tree below (and including) root.
+    void release(NodeT* root) { detail::free_subtree(root); }
+
+    NewDeleteNodeAlloc() = default;
+    NewDeleteNodeAlloc(NewDeleteNodeAlloc&&) noexcept = default;
+    NewDeleteNodeAlloc& operator=(NewDeleteNodeAlloc&&) noexcept = default;
+};
+
+/// Arena policy: chunked bump allocation under a spinlock (splits — and thus
+/// allocations — are ~1/(BlockSize/2) of inserts, so the lock is cold),
+/// wholesale release. Individual nodes are never returned — exactly the
+/// tree's lifetime model.
+template <typename Key, unsigned BlockSize, typename Access>
+class ArenaNodeAlloc {
+public:
+    using NodeT = detail::Node<Key, BlockSize, Access>;
+    using InnerT = detail::InnerNode<Key, BlockSize, Access>;
+
+    ArenaNodeAlloc() = default;
+    ArenaNodeAlloc(ArenaNodeAlloc&& o) noexcept : chunks_(std::move(o.chunks_)) {
+        used_ = o.used_;
+        o.used_ = kChunkBytes; // force fresh chunk on next allocation
+    }
+    ArenaNodeAlloc& operator=(ArenaNodeAlloc&& o) noexcept {
+        if (this != &o) {
+            chunks_ = std::move(o.chunks_);
+            used_ = o.used_;
+            o.used_ = kChunkBytes;
+        }
+        return *this;
+    }
+
+    NodeT* make_leaf() {
+        void* mem = allocate(sizeof(NodeT), alignof(NodeT));
+        return ::new (mem) NodeT(/*is_inner=*/false);
+    }
+
+    InnerT* make_inner() {
+        void* mem = allocate(sizeof(InnerT), alignof(InnerT));
+        return ::new (mem) InnerT();
+    }
+
+    /// Wholesale release; the node pointer is irrelevant — every node of the
+    /// owning tree lives in this arena. Nodes are trivially destructible
+    /// apart from their (trivially destructible) members, so dropping the
+    /// chunks is sufficient.
+    void release(NodeT* /*root*/) {
+        chunks_.clear();
+        used_ = kChunkBytes;
+    }
+
+private:
+    static_assert(std::is_trivially_destructible_v<Key>,
+                  "arena release skips node destructors");
+
+    static constexpr std::size_t kChunkBytes = 1u << 20; // 1 MiB chunks
+
+    void* allocate(std::size_t bytes, std::size_t align) {
+        std::lock_guard guard(lock_);
+        std::size_t offset = (used_ + align - 1) & ~(align - 1);
+        if (chunks_.empty() || offset + bytes > kChunkBytes) {
+            chunks_.push_back(std::make_unique<std::byte[]>(kChunkBytes));
+            offset = 0;
+        }
+        used_ = offset + bytes;
+        return chunks_.back().get() + offset;
+    }
+
+    util::Spinlock lock_;
+    std::vector<std::unique_ptr<std::byte[]>> chunks_;
+    std::size_t used_ = kChunkBytes;
+};
+
+} // namespace dtree

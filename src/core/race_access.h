@@ -1,0 +1,123 @@
+#pragma once
+
+// Seqlock-safe access to data protected by an OptimisticReadWriteLock.
+//
+// Under the optimistic protocol, readers intentionally race with writers and
+// discard what they read when validation fails. C++ declares such races
+// undefined behaviour unless the conflicting accesses are atomic, so (as the
+// paper describes, following Boehm) every field a reader may touch without
+// holding the write lock is accessed through relaxed atomic operations:
+//
+//   * whole-word fields (counts, pointers) are stored as std::atomic<T> and
+//     accessed through the relaxed_value<T> wrapper below;
+//   * key payloads (tuples) stay plain objects in node arrays — copying them
+//     through std::atomic would be prohibitively invasive — and are instead
+//     read/written *per scalar element* through std::atomic_ref, which C++20
+//     provides exactly for this purpose.
+//
+// The sequential tree variant bypasses all of this: SeqAccess compiles to
+// plain loads and stores with zero overhead, which is what the paper's
+// "seq btree" configuration measures.
+
+#include <atomic>
+#include <cstddef>
+#include <type_traits>
+
+namespace dtree {
+
+/// Concept-ish trait: keys that expose element-wise access for racy copies.
+/// Scalar keys qualify trivially; Tuple<N> specialises via data()/size().
+template <typename T>
+concept ScalarKey = std::is_scalar_v<T>;
+
+template <typename T>
+concept ElementwiseKey = requires(T t, const T ct) {
+    { ct.data() } -> std::convertible_to<const typename T::value_type*>;
+    { t.data() } -> std::convertible_to<typename T::value_type*>;
+    { T::static_size() } -> std::convertible_to<std::size_t>;
+};
+
+/// Access policy for the concurrent tree: all racy loads/stores relaxed.
+struct ConcurrentAccess {
+    static constexpr bool concurrent = true;
+
+    // NB: atomic_ref<const T> is C++26; until then the const_cast below is
+    // the sanctioned workaround (the referenced object is never modified).
+    template <ScalarKey T>
+    static T load(const T& src) {
+        return std::atomic_ref<T>(const_cast<T&>(src)).load(std::memory_order_relaxed);
+    }
+
+    template <ScalarKey T>
+    static void store(T& dst, T v) {
+        std::atomic_ref<T>(dst).store(v, std::memory_order_relaxed);
+    }
+
+    template <ElementwiseKey T>
+    static T load(const T& src) {
+        using V = typename T::value_type;
+        T out;
+        for (std::size_t i = 0; i < T::static_size(); ++i) {
+            out.data()[i] = std::atomic_ref<V>(const_cast<V&>(src.data()[i]))
+                                .load(std::memory_order_relaxed);
+        }
+        return out;
+    }
+
+    template <ElementwiseKey T>
+    static void store(T& dst, const T& v) {
+        for (std::size_t i = 0; i < T::static_size(); ++i) {
+            std::atomic_ref<typename T::value_type>(dst.data()[i])
+                .store(v.data()[i], std::memory_order_relaxed);
+        }
+    }
+};
+
+/// Access policy for the sequential tree: plain loads/stores, no fences.
+struct SeqAccess {
+    static constexpr bool concurrent = false;
+
+    template <typename T>
+    static T load(const T& src) {
+        return src;
+    }
+
+    template <typename T>
+    static void store(T& dst, const T& v) {
+        dst = v;
+    }
+};
+
+/// A word-sized field that is racy in concurrent mode and plain otherwise.
+/// Loads/stores are relaxed; ordering comes from the enclosing lock protocol
+/// (acquire on lease acquisition/validation, release on end_write).
+template <typename T, bool Concurrent>
+class relaxed_value;
+
+template <typename T>
+class relaxed_value<T, true> {
+public:
+    relaxed_value() : v_{} {}
+    explicit relaxed_value(T v) : v_(v) {}
+
+    T load() const { return v_.load(std::memory_order_relaxed); }
+    void store(T v) { v_.store(v, std::memory_order_relaxed); }
+
+private:
+    std::atomic<T> v_;
+};
+
+template <typename T>
+class relaxed_value<T, false> {
+public:
+    relaxed_value() : v_{} {}
+    explicit relaxed_value(T v) : v_(v) {}
+
+    T load() const { return v_; }
+    void store(T v) { v_ = v; }
+
+private:
+    T v_;
+};
+
+} // namespace dtree

@@ -1,0 +1,507 @@
+#pragma once
+
+// The soufflette evaluation engine: parallel semi-naïve bottom-up Datalog
+// evaluation (paper §2), templated on the relation storage adapter so the
+// paper's Fig. 5 comparison — same engine, different data structure — is one
+// template instantiation per contestant.
+//
+// Evaluation pipeline per stratum (strata in dependency order):
+//   1. rules with no same-stratum body atom run once;
+//   2. delta := everything derived so far for the stratum's relations;
+//   3. fixpoint loop: for every recursive rule and every same-stratum
+//      positive body atom occurrence k, run the rule with occurrence k
+//      reading DELTA and the others reading FULL; freshly derived tuples
+//      (not in FULL) go to NEW;
+//   4. merge NEW into FULL (and all its indexes), DELTA := NEW; repeat
+//      until no NEW tuples.
+//
+// Parallelism (the paper's model): within one rule evaluation the matches of
+// the FIRST body atom are materialised and partitioned over T threads; each
+// thread joins the remaining atoms with its own LocalView per relation —
+// which is exactly where per-thread operation hints live. Writes go to NEW
+// relations only and reads to FULL/DELTA only: the two-phase discipline that
+// lets reads run unsynchronised.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/timer.h"
+
+#include "datalog/ast.h"
+#include "datalog/index_selection.h"
+#include "datalog/relation.h"
+#include "datalog/semantics.h"
+#include "datalog/symbol_table.h"
+#include "util/parallel.h"
+
+namespace dtree::datalog {
+
+/// Aggregate run statistics (Table 2).
+struct EngineStats {
+    std::size_t relations = 0;
+    std::size_t rules = 0;
+    OpCounters ops;
+    HintStats hints;
+    std::uint64_t input_tuples = 0;
+    std::uint64_t produced_tuples = 0;
+    std::uint64_t iterations = 0; ///< total fixpoint iterations across strata
+};
+
+/// Per-rule profile (Soufflé-profiler style): where did the fixpoint spend
+/// its time? Evaluations counts every (iteration x delta-variant) run.
+struct RuleProfile {
+    std::string head;        ///< head relation name
+    std::size_t rule_index;  ///< index into the program's rules
+    bool recursive = false;
+    std::uint64_t evaluations = 0;
+    double seconds = 0;
+};
+
+template <typename Storage>
+class Engine {
+public:
+    using RelationT = Relation<Storage>;
+
+    explicit Engine(AnalyzedProgram prog) : prog_(std::move(prog)) {
+        // Intern every string literal, turning Symbol arguments into plain
+        // Constants: evaluation never sees strings.
+        for (Rule& rule : prog_.program.rules) {
+            auto resolve_arg = [this](Argument& arg) {
+                if (!arg.is_symbol()) return;
+                arg = Argument::number(symbols_.intern(arg.var));
+            };
+            for (Argument& a : rule.head.args) resolve_arg(a);
+            for (Atom& atom : rule.body) {
+                for (Argument& a : atom.args) resolve_arg(a);
+            }
+            for (Constraint& c : rule.constraints) {
+                resolve_arg(c.lhs);
+                resolve_arg(c.rhs);
+            }
+        }
+        indexes_ = select_indexes(prog_);
+        for (std::size_t r = 0; r < prog_.decls.size(); ++r) {
+            const auto& d = prog_.decls[r];
+            relations_.push_back(std::make_unique<RelationT>(
+                d.name, static_cast<unsigned>(d.arity()), indexes_.relation_indexes[r]));
+        }
+        for (std::size_t i = 0; i < prog_.program.rules.size(); ++i) {
+            compiled_.push_back(compile_rule(prog_, i));
+            if (compiled_.back().num_vars > 32) {
+                throw std::runtime_error("rule uses more than 32 variables");
+            }
+        }
+        profile_.resize(prog_.program.rules.size());
+        // Load inline facts.
+        for (std::size_t i = 0; i < prog_.program.rules.size(); ++i) {
+            const Rule& rule = prog_.program.rules[i];
+            if (!rule.is_fact()) continue;
+            StorageTuple t{};
+            for (std::size_t c = 0; c < rule.head.args.size(); ++c) {
+                t[c] = rule.head.args[c].constant;
+            }
+            relations_[prog_.relation_id(rule.head.relation)]->insert(t);
+        }
+    }
+
+    /// Bulk fact loading (workload generators). Tuples are padded source-
+    /// order column values.
+    void add_facts(const std::string& relation, const std::vector<StorageTuple>& facts) {
+        RelationT& rel = *relations_.at(prog_.relation_id(relation));
+        auto view = rel.local_view(0);
+        for (const auto& t : facts) view.insert(t);
+        input_tuples_ += facts.size();
+    }
+
+    void add_fact(const std::string& relation, const StorageTuple& t) {
+        relations_.at(prog_.relation_id(relation))->insert(t);
+        ++input_tuples_;
+    }
+
+    /// Runs the program to fixpoint with the given number of threads.
+    void run(unsigned threads) {
+        if (threads == 0) throw std::invalid_argument("threads must be >= 1");
+        threads_ = threads;
+        for (const Stratum& stratum : prog_.strata) evaluate_stratum(stratum);
+    }
+
+    const RelationT& relation(const std::string& name) const {
+        return *relations_.at(prog_.relation_id(name));
+    }
+
+    /// All tuples of a relation, in index order (tests / output).
+    std::vector<StorageTuple> tuples(const std::string& name) const {
+        std::vector<StorageTuple> out;
+        relation(name).for_each([&](const StorageTuple& t) { out.push_back(t); });
+        return out;
+    }
+
+    EngineStats stats() const {
+        EngineStats s;
+        s.relations = relations_.size();
+        std::size_t rule_count = 0;
+        for (const auto& r : prog_.program.rules) {
+            if (!r.is_fact()) ++rule_count;
+        }
+        s.rules = rule_count;
+        std::uint64_t total = 0;
+        for (const auto& rel : relations_) {
+            s.ops += rel->counters();
+            s.hints += rel->hint_stats();
+            total += rel->size();
+        }
+        s.input_tuples = input_tuples_;
+        s.produced_tuples = total >= input_tuples_ ? total - input_tuples_ : 0;
+        s.iterations = iterations_;
+        return s;
+    }
+
+    const AnalyzedProgram& analyzed() const { return prog_; }
+
+    /// The engine's symbol table: interned string constants from the program
+    /// text plus whatever fact loading added. Thread-safe.
+    SymbolTable& symbols() { return symbols_; }
+    const SymbolTable& symbols() const { return symbols_; }
+
+    /// Per-rule time/evaluation profile, most expensive first. Filled during
+    /// run(); empty before.
+    std::vector<RuleProfile> profile() const {
+        std::vector<RuleProfile> out;
+        for (std::size_t i = 0; i < profile_.size(); ++i) {
+            if (profile_[i].evaluations == 0) continue;
+            RuleProfile p = profile_[i];
+            p.head = prog_.program.rules[i].head.relation;
+            p.rule_index = i;
+            p.recursive = prog_.rule_recursive[i];
+            out.push_back(p);
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const RuleProfile& a, const RuleProfile& b) {
+                      return a.seconds > b.seconds;
+                  });
+        return out;
+    }
+
+private:
+    /// Which container a same-stratum atom reads in a delta-rule variant.
+    enum class Version { Full, Delta };
+
+    void evaluate_stratum(const Stratum& stratum) {
+        // Phase 1: non-recursive rules run once, straight into FULL.
+        for (std::size_t rule_idx : stratum.rules) {
+            if (prog_.program.rules[rule_idx].is_fact()) continue;
+            if (!prog_.rule_recursive[rule_idx]) {
+                evaluate_rule(rule_idx, /*delta_atom=*/-1, nullptr, nullptr);
+            }
+        }
+        if (!stratum.recursive) return;
+
+        // Phase 2: initialise delta with everything the stratum's relations
+        // hold so far.
+        std::map<std::size_t, std::unique_ptr<RelationT>> delta, fresh;
+        for (std::size_t rel : stratum.relations) {
+            delta[rel] = make_scratch(rel);
+            fresh[rel] = make_scratch(rel);
+            auto view = delta[rel]->local_view(0);
+            relations_[rel]->for_each([&](const StorageTuple& t) { view.insert(t); });
+        }
+
+        // Phase 3: fixpoint.
+        for (;;) {
+            ++iterations_;
+            bool any_delta = false;
+            for (std::size_t rel : stratum.relations) {
+                if (!delta[rel]->empty()) any_delta = true;
+            }
+            if (!any_delta) break;
+
+            for (std::size_t rule_idx : stratum.rules) {
+                if (!prog_.rule_recursive[rule_idx]) continue;
+                const CompiledRule& cr = compiled_[rule_idx];
+                // One variant per same-stratum positive atom occurrence.
+                for (std::size_t k = 0; k < cr.body.size(); ++k) {
+                    const CompiledAtom& atom = cr.body[k];
+                    if (atom.negated) continue;
+                    if (!delta.count(atom.relation)) continue;
+                    evaluate_rule(rule_idx, static_cast<int>(k), &delta, &fresh);
+                }
+            }
+
+            // Phase 4: merge NEW into FULL, rotate NEW -> DELTA.
+            bool progress = false;
+            for (std::size_t rel : stratum.relations) {
+                RelationT& nw = *fresh[rel];
+                if (!nw.empty()) {
+                    progress = true;
+                    merge_into_full(rel, nw);
+                }
+                delta[rel]->clear();
+                delta[rel]->swap_contents(nw);
+            }
+            if (!progress) break;
+        }
+    }
+
+    std::unique_ptr<RelationT> make_scratch(std::size_t rel) const {
+        const auto& d = prog_.decls[rel];
+        return std::make_unique<RelationT>(d.name + "@scratch",
+                                           static_cast<unsigned>(d.arity()),
+                                           indexes_.relation_indexes[rel]);
+    }
+
+    /// Parallel merge of a NEW relation into FULL; sorted iteration order
+    /// makes this the hint-friendly specialised merge of §3.
+    void merge_into_full(std::size_t rel, RelationT& nw) {
+        std::vector<StorageTuple> tuples;
+        nw.for_each([&](const StorageTuple& t) { tuples.push_back(t); });
+        util::parallel_blocks(tuples.size(), effective_threads(tuples.size()),
+                              [&](unsigned tid, std::size_t b, std::size_t e) {
+                                  auto view = relations_[rel]->local_view(tid);
+                                  for (std::size_t i = b; i < e; ++i) view.insert(tuples[i]);
+                              });
+    }
+
+    unsigned effective_threads(std::size_t work_items) const {
+        // Spawning 16 threads for 10 tuples costs more than it saves.
+        if (work_items < 256) return 1;
+        return threads_;
+    }
+
+    /// Evaluates one rule (or one delta-variant of it): delta_atom is the
+    /// body position reading DELTA, or -1 for the non-recursive form.
+    /// Derived head tuples that are not yet in the head's FULL relation are
+    /// inserted into NEW (recursive) or directly into FULL (non-recursive).
+    /// RAII profiling scope: accumulates wall time + evaluation count.
+    struct ProfileScope {
+        RuleProfile& p;
+        util::Timer timer;
+        ~ProfileScope() {
+            p.seconds += timer.elapsed_s();
+            ++p.evaluations;
+        }
+    };
+
+    void evaluate_rule(std::size_t rule_idx, int delta_atom,
+                       std::map<std::size_t, std::unique_ptr<RelationT>>* delta,
+                       std::map<std::size_t, std::unique_ptr<RelationT>>* fresh) {
+        ProfileScope profile_scope{profile_[rule_idx]};
+        const CompiledRule& cr = compiled_[rule_idx];
+        const std::size_t head_rel = cr.head.relation;
+
+        // Constant-only constraints gate the whole rule.
+        static const std::array<Value, 32> kEmptyEnv{};
+        if (!constraints_hold(cr, -1, kEmptyEnv)) return;
+
+        // Constraint-only body (e.g. `a(1) :- 1 < 2.`): emit the (ground)
+        // head once.
+        if (cr.body.empty()) {
+            auto head_full = relations_[head_rel]->local_view(0);
+            StorageTuple t{};
+            for (unsigned c = 0; c < cr.head.arity; ++c) t[c] = cr.head.cols[c].constant;
+            head_full.insert(t);
+            return;
+        }
+
+        // All-negated body (e.g. `a(1) :- !b(1).`): no outer atom to fan out
+        // over; evaluate the chain of membership filters once, sequentially.
+        if (cr.body[0].negated) {
+            std::vector<typename RelationT::LocalView> body_views;
+            for (std::size_t a = 0; a < cr.body.size(); ++a) {
+                body_views.push_back(resolve(cr.body[a].relation, Version::Full, delta)
+                                         .local_view(0));
+            }
+            auto head_full = relations_[head_rel]->local_view(0);
+            RelationT* new_rel = fresh ? fresh->at(head_rel).get() : nullptr;
+            auto head_new = new_rel ? std::make_unique<typename RelationT::LocalView>(
+                                          new_rel->local_view(0))
+                                    : nullptr;
+            std::array<Value, 32> env{};
+            join_from(rule_idx, cr, 0, env, body_views, head_full, head_new.get());
+            return;
+        }
+
+        // Materialise the outer atom's candidate tuples (source order).
+        std::vector<StorageTuple> outer;
+        {
+            RelationT& rel0 = resolve(cr.body[0].relation, delta_atom == 0 ? Version::Delta
+                                                                           : Version::Full,
+                                      delta);
+            auto view = rel0.local_view(0);
+            collect_atom_matches(rule_idx, 0, cr.body[0], view, outer);
+        }
+        if (outer.empty()) return;
+
+        util::parallel_blocks(outer.size(), effective_threads(outer.size()),
+                              [&](unsigned tid, std::size_t b, std::size_t e) {
+            // Per-thread views: reads on body relations, writes on head.
+            std::vector<typename RelationT::LocalView> body_views;
+            body_views.reserve(cr.body.size());
+            for (std::size_t a = 0; a < cr.body.size(); ++a) {
+                const Version v = (static_cast<int>(a) == delta_atom) ? Version::Delta
+                                                                      : Version::Full;
+                body_views.push_back(resolve(cr.body[a].relation, v, delta).local_view(tid));
+            }
+            auto head_full = relations_[head_rel]->local_view(tid);
+            RelationT* new_rel = fresh ? fresh->at(head_rel).get() : nullptr;
+            auto head_new = new_rel ? std::make_unique<typename RelationT::LocalView>(
+                                          new_rel->local_view(tid))
+                                    : nullptr;
+
+            std::array<Value, 32> env{};
+            for (std::size_t i = b; i < e; ++i) {
+                if (!bind_atom(cr.body[0], outer[i], env)) continue;
+                if (!constraints_hold(cr, 0, env)) continue;
+                join_from(rule_idx, cr, 1, env, body_views, head_full, head_new.get());
+            }
+        });
+    }
+
+    /// Resolves which physical relation an atom occurrence reads.
+    RelationT& resolve(std::size_t rel, Version v,
+                       std::map<std::size_t, std::unique_ptr<RelationT>>* delta) const {
+        if (v == Version::Delta) return *delta->at(rel);
+        return *relations_[rel];
+    }
+
+    /// Collects all tuples of atom 0 consistent with its constants (other
+    /// columns are unconstrained at this point: leading atom, empty env).
+    void collect_atom_matches(std::size_t rule_idx, std::size_t atom_idx,
+                              const CompiledAtom& atom,
+                              typename RelationT::LocalView& view,
+                              std::vector<StorageTuple>& out) {
+        const AtomPlan& plan = indexes_.plan(rule_idx, atom_idx);
+        auto sink = [&](const StorageTuple& t) {
+            // Constants / repeated variables are re-checked by bind_atom
+            // later; collecting a superset here is always sound.
+            out.push_back(t);
+        };
+        if constexpr (Storage::ordered) {
+            if (!plan.full_scan && plan.bound_prefix < atom.arity) {
+                StorageTuple bound{};
+                const IndexOrder& order = indexes_.relation_indexes[atom.relation][plan.index];
+                for (unsigned p = 0; p < plan.bound_prefix; ++p) {
+                    const ColumnRef& col = atom.cols[order.order[p]];
+                    bound[p] = col.constant; // leading atom: only constants can be bound
+                }
+                view.scan_prefix(plan.index, bound, plan.bound_prefix, sink);
+                return;
+            }
+        }
+        view.scan_all(sink);
+    }
+
+    /// Evaluates every constraint that became checkable at body stage
+    /// `stage` (-1 = constants only, before any atom).
+    static bool constraints_hold(const CompiledRule& cr, int stage,
+                                 const std::array<Value, 32>& env) {
+        for (const CompiledConstraint& c : cr.constraints) {
+            if (c.ready_after != stage) continue;
+            const Value a =
+                c.lhs.kind == ColumnRef::Kind::Constant ? c.lhs.constant : env[c.lhs.var];
+            const Value b =
+                c.rhs.kind == ColumnRef::Kind::Constant ? c.rhs.constant : env[c.rhs.var];
+            if (!Constraint::eval(c.op, a, b)) return false;
+        }
+        return true;
+    }
+
+    /// Matches `tuple` against the atom's columns, binding free variables.
+    /// Returns false on constant / repeated-variable mismatch.
+    static bool bind_atom(const CompiledAtom& atom, const StorageTuple& tuple,
+                          std::array<Value, 32>& env) {
+        for (unsigned c = 0; c < atom.arity; ++c) {
+            const ColumnRef& col = atom.cols[c];
+            switch (col.kind) {
+                case ColumnRef::Kind::Constant:
+                    if (tuple[c] != col.constant) return false;
+                    break;
+                case ColumnRef::Kind::Free:
+                    env[col.var] = tuple[c];
+                    break;
+                case ColumnRef::Kind::Bound:
+                    if (tuple[c] != env[col.var]) return false;
+                    break;
+            }
+        }
+        return true;
+    }
+
+    /// Nested-loop join over body atoms [atom_idx..), emitting head tuples.
+    void join_from(std::size_t rule_idx, const CompiledRule& cr, std::size_t atom_idx,
+                   std::array<Value, 32>& env,
+                   std::vector<typename RelationT::LocalView>& body_views,
+                   typename RelationT::LocalView& head_full,
+                   typename RelationT::LocalView* head_new) {
+        if (atom_idx == cr.body.size()) {
+            StorageTuple t{};
+            for (unsigned c = 0; c < cr.head.arity; ++c) {
+                const ColumnRef& col = cr.head.cols[c];
+                t[c] = (col.kind == ColumnRef::Kind::Constant) ? col.constant : env[col.var];
+            }
+            if (head_new) {
+                // Recursive variant: only genuinely new tuples enter NEW.
+                if (!head_full.contains(t)) head_new->insert(t);
+            } else {
+                head_full.insert(t);
+            }
+            return;
+        }
+
+        const CompiledAtom& atom = cr.body[atom_idx];
+        auto& view = body_views[atom_idx];
+
+        // Fully-bound atoms (incl. all negated ones) are membership tests.
+        const std::uint8_t full_mask = static_cast<std::uint8_t>((1u << atom.arity) - 1);
+        if (atom.bound_mask == full_mask) {
+            StorageTuple probe{};
+            for (unsigned c = 0; c < atom.arity; ++c) {
+                const ColumnRef& col = atom.cols[c];
+                probe[c] =
+                    (col.kind == ColumnRef::Kind::Constant) ? col.constant : env[col.var];
+            }
+            const bool present = view.contains(probe);
+            if (present == atom.negated) return;
+            join_from(rule_idx, cr, atom_idx + 1, env, body_views, head_full, head_new);
+            return;
+        }
+
+        const AtomPlan& plan = indexes_.plan(rule_idx, atom_idx);
+        auto process = [&](const StorageTuple& t) {
+            if (!bind_atom(atom, t, env)) return;
+            if (!constraints_hold(cr, static_cast<int>(atom_idx), env)) return;
+            join_from(rule_idx, cr, atom_idx + 1, env, body_views, head_full, head_new);
+        };
+        if constexpr (Storage::ordered) {
+            if (!plan.full_scan) {
+                const IndexOrder& order =
+                    indexes_.relation_indexes[atom.relation][plan.index];
+                StorageTuple bound{};
+                for (unsigned p = 0; p < plan.bound_prefix; ++p) {
+                    const ColumnRef& col = atom.cols[order.order[p]];
+                    bound[p] = (col.kind == ColumnRef::Kind::Constant) ? col.constant
+                                                                       : env[col.var];
+                }
+                view.scan_prefix(plan.index, bound, plan.bound_prefix, process);
+                return;
+            }
+        }
+        view.scan_all(process);
+    }
+
+    AnalyzedProgram prog_;
+    SymbolTable symbols_;
+    IndexSelection indexes_;
+    std::vector<std::unique_ptr<RelationT>> relations_;
+    std::vector<CompiledRule> compiled_;
+    std::vector<RuleProfile> profile_;
+    unsigned threads_ = 1;
+    std::uint64_t input_tuples_ = 0;
+    std::uint64_t iterations_ = 0;
+};
+
+} // namespace dtree::datalog

@@ -1,0 +1,101 @@
+#pragma once
+
+// Rule compilation and automatic index selection (a simplified take on the
+// paper's companion work [29], "Optimal On The Fly Index Selection").
+//
+// Each body atom of each rule, evaluated left-to-right, has a *search
+// signature*: the set of columns whose values are known before the atom is
+// looked up (constants + variables bound by earlier atoms). An ordered index
+// whose column order starts with exactly those columns answers the lookup as
+// one range query. Signatures that are subsets of one another can share an
+// index (the smaller set is a prefix of the larger one's order), so the
+// minimum number of indexes per relation is a minimum chain cover of its
+// signature set — approximated here greedily by chaining signatures in
+// increasing-cardinality order.
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/semantics.h"
+
+namespace dtree::datalog {
+
+/// How one atom column is obtained during evaluation.
+struct ColumnRef {
+    enum class Kind : std::uint8_t {
+        Constant, ///< fixed value
+        Bound,    ///< variable already bound (earlier atom or earlier column)
+        Free      ///< first occurrence: binds the variable
+    };
+    Kind kind = Kind::Free;
+    Value constant = 0; ///< Kind::Constant
+    unsigned var = 0;   ///< Kind::Bound / Kind::Free
+};
+
+/// A rule body atom lowered to positional form.
+struct CompiledAtom {
+    std::size_t relation = 0; ///< AnalyzedProgram decl index
+    unsigned arity = 0;
+    bool negated = false;
+    std::array<ColumnRef, kMaxArity> cols{};
+    /// Columns whose values are known BEFORE this atom is searched
+    /// (constants + variables from earlier atoms) — the search signature.
+    std::uint8_t bound_mask = 0;
+};
+
+/// A lowered comparison constraint: checked as soon as both sides are bound.
+struct CompiledConstraint {
+    Constraint::Op op;
+    ColumnRef lhs, rhs; ///< Constant or Bound (never Free; semantics checked)
+    /// Index of the body atom after whose binding the constraint is
+    /// evaluable; -1 if both sides are constants (checked before any atom).
+    int ready_after = -1;
+};
+
+/// A whole rule in evaluation order; head columns are Constant or Bound.
+struct CompiledRule {
+    CompiledAtom head;
+    std::vector<CompiledAtom> body;
+    std::vector<CompiledConstraint> constraints;
+    unsigned num_vars = 0;
+};
+
+/// Lowers rule `rule_idx`, numbering variables by first occurrence.
+CompiledRule compile_rule(const AnalyzedProgram& prog, std::size_t rule_idx);
+
+/// One index: a permutation of the relation's columns (bound columns first).
+struct IndexOrder {
+    std::array<std::uint8_t, kMaxArity> order{}; ///< order[i] = source column of position i
+    unsigned arity = 0;
+
+    /// Does a lookup with this signature match a prefix of the order?
+    /// Returns the prefix length, or -1 if not served.
+    int served_prefix(std::uint8_t signature) const;
+};
+
+/// How one atom lookup executes.
+struct AtomPlan {
+    bool full_scan = true;  ///< no usable signature: iterate everything
+    unsigned index = 0;     ///< which of the relation's indexes to use
+    unsigned bound_prefix = 0; ///< how many leading index columns are fixed
+};
+
+struct IndexSelection {
+    /// Per relation (by decl index): its index orders. Index 0 always exists
+    /// and is the identity order (the primary index).
+    std::vector<std::vector<IndexOrder>> relation_indexes;
+    /// Per (rule index, body atom index): the chosen plan.
+    std::map<std::pair<std::size_t, std::size_t>, AtomPlan> atom_plans;
+
+    const AtomPlan& plan(std::size_t rule, std::size_t atom) const {
+        return atom_plans.at({rule, atom});
+    }
+};
+
+/// Computes indexes for every relation and a plan for every body atom.
+IndexSelection select_indexes(const AnalyzedProgram& prog);
+
+} // namespace dtree::datalog

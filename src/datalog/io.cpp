@@ -1,0 +1,141 @@
+#include "datalog/io.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace dtree::datalog {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, std::size_t line,
+                       const std::string& what) {
+    throw std::runtime_error(path + ":" + std::to_string(line) + ": " + what);
+}
+
+} // namespace
+
+std::vector<StorageTuple> read_fact_file(const std::string& path, unsigned arity) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open fact file: " + path);
+    std::vector<StorageTuple> out;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        // Strip trailing CR (files written on Windows).
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty() || line[0] == '#') continue;
+        StorageTuple t{};
+        std::size_t pos = 0;
+        for (unsigned c = 0; c < arity; ++c) {
+            while (pos < line.size() && (line[pos] == ' ')) ++pos;
+            if (pos >= line.size() || !std::isdigit(static_cast<unsigned char>(line[pos]))) {
+                fail(path, lineno, "expected unsigned integer in column " + std::to_string(c + 1));
+            }
+            Value v = 0;
+            while (pos < line.size() && std::isdigit(static_cast<unsigned char>(line[pos]))) {
+                v = v * 10 + static_cast<Value>(line[pos] - '0');
+                ++pos;
+            }
+            t[c] = v;
+            if (c + 1 < arity) {
+                if (pos >= line.size() || (line[pos] != '\t' && line[pos] != ',')) {
+                    fail(path, lineno, "expected separator after column " + std::to_string(c + 1));
+                }
+                ++pos;
+            }
+        }
+        while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) ++pos;
+        if (pos != line.size()) fail(path, lineno, "trailing characters");
+        out.push_back(t);
+    }
+    return out;
+}
+
+std::vector<StorageTuple> read_fact_file(const std::string& path,
+                                         const std::vector<AttrType>& types,
+                                         SymbolTable& symbols) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open fact file: " + path);
+    const unsigned arity = static_cast<unsigned>(types.size());
+    std::vector<StorageTuple> out;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty() || line[0] == '#') continue;
+        StorageTuple t{};
+        std::size_t pos = 0;
+        for (unsigned c = 0; c < arity; ++c) {
+            // Column text runs to the next separator (or line end).
+            std::size_t end = line.find_first_of("\t,", pos);
+            if (end == std::string::npos) end = line.size();
+            const std::string_view field(line.data() + pos, end - pos);
+            if (c + 1 < arity && end == line.size()) {
+                fail(path, lineno, "expected separator after column " + std::to_string(c + 1));
+            }
+            if (types[c] == AttrType::Symbol) {
+                t[c] = symbols.intern(field);
+            } else {
+                if (field.empty()) fail(path, lineno, "empty number column");
+                Value v = 0;
+                for (char d : field) {
+                    if (!std::isdigit(static_cast<unsigned char>(d))) {
+                        fail(path, lineno,
+                             "expected unsigned integer in column " + std::to_string(c + 1));
+                    }
+                    v = v * 10 + static_cast<Value>(d - '0');
+                }
+                t[c] = v;
+            }
+            pos = end + 1;
+        }
+        out.push_back(t);
+    }
+    return out;
+}
+
+void write_fact_file(const std::string& path, unsigned arity,
+                     const std::vector<StorageTuple>& tuples) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open output file: " + path);
+    for (const auto& t : tuples) {
+        for (unsigned c = 0; c < arity; ++c) {
+            if (c) out << '\t';
+            out << t[c];
+        }
+        out << '\n';
+    }
+}
+
+void write_fact_file(const std::string& path, const std::vector<AttrType>& types,
+                     const std::vector<StorageTuple>& tuples,
+                     const SymbolTable& symbols) {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open output file: " + path);
+    for (const auto& t : tuples) {
+        for (std::size_t c = 0; c < types.size(); ++c) {
+            if (c) out << '\t';
+            if (types[c] == AttrType::Symbol) {
+                out << symbols.name(t[c]);
+            } else {
+                out << t[c];
+            }
+        }
+        out << '\n';
+    }
+}
+
+std::string read_text_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open file: " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace dtree::datalog

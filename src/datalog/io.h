@@ -1,0 +1,39 @@
+#pragma once
+
+// Fact file I/O for the soufflette engine, following Soufflé's conventions:
+// input relations read `<name>.facts` (tab-separated unsigned values, one
+// tuple per line) from a facts directory; output relations are written as
+// `<name>.csv` into an output directory.
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/symbol_table.h"
+
+namespace dtree::datalog {
+
+/// Parses one fact file. Lines: arity tab-separated (or comma-separated)
+/// unsigned integers; blank lines and lines starting with '#' are skipped.
+/// Throws std::runtime_error with file/line context on malformed input.
+std::vector<StorageTuple> read_fact_file(const std::string& path, unsigned arity);
+
+/// Typed variant: number columns parse as unsigned integers, symbol columns
+/// take the raw text between separators and are interned.
+std::vector<StorageTuple> read_fact_file(const std::string& path,
+                                         const std::vector<AttrType>& types,
+                                         SymbolTable& symbols);
+
+/// Writes tuples (first `arity` columns) as tab-separated lines.
+void write_fact_file(const std::string& path, unsigned arity,
+                     const std::vector<StorageTuple>& tuples);
+
+/// Typed variant: symbol columns are written as their interned text.
+void write_fact_file(const std::string& path, const std::vector<AttrType>& types,
+                     const std::vector<StorageTuple>& tuples,
+                     const SymbolTable& symbols);
+
+/// Reads an entire text file.
+std::string read_text_file(const std::string& path);
+
+} // namespace dtree::datalog

@@ -1,0 +1,199 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace dtree::datalog {
+
+namespace {
+
+bool is_ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '?';
+}
+
+[[noreturn]] void fail(int line, int col, const std::string& what) {
+    throw std::runtime_error("lex error at " + std::to_string(line) + ":" +
+                             std::to_string(col) + ": " + what);
+}
+
+} // namespace
+
+std::vector<Token> lex(const std::string& source) {
+    std::vector<Token> out;
+    int line = 1;
+    int col = 1;
+    std::size_t i = 0;
+    const std::size_t n = source.size();
+
+    auto advance = [&](std::size_t count = 1) {
+        for (std::size_t j = 0; j < count && i < n; ++j, ++i) {
+            if (source[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance();
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n') advance();
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            const int start_line = line;
+            const int start_col = col;
+            advance(2);
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) advance();
+            if (i + 1 >= n) fail(start_line, start_col, "unterminated block comment");
+            advance(2);
+            continue;
+        }
+
+        const int tl = line;
+        const int tc = col;
+        if (c == '.') {
+            // A dot directly followed by an identifier is a directive.
+            if (i + 1 < n && is_ident_start(source[i + 1])) {
+                advance();
+                std::string word;
+                while (i < n && is_ident_char(source[i])) {
+                    word.push_back(source[i]);
+                    advance();
+                }
+                out.push_back({TokenKind::Directive, word, 0, tl, tc});
+            } else {
+                advance();
+                out.push_back({TokenKind::Dot, ".", 0, tl, tc});
+            }
+            continue;
+        }
+        if (c == ',') {
+            advance();
+            out.push_back({TokenKind::Comma, ",", 0, tl, tc});
+            continue;
+        }
+        if (c == '(') {
+            advance();
+            out.push_back({TokenKind::LParen, "(", 0, tl, tc});
+            continue;
+        }
+        if (c == ')') {
+            advance();
+            out.push_back({TokenKind::RParen, ")", 0, tl, tc});
+            continue;
+        }
+        if (c == '!') {
+            if (i + 1 < n && source[i + 1] == '=') {
+                advance(2);
+                out.push_back({TokenKind::Ne, "!=", 0, tl, tc});
+            } else {
+                advance();
+                out.push_back({TokenKind::Bang, "!", 0, tl, tc});
+            }
+            continue;
+        }
+        if (c == '<') {
+            if (i + 1 < n && source[i + 1] == '=') {
+                advance(2);
+                out.push_back({TokenKind::Le, "<=", 0, tl, tc});
+            } else {
+                advance();
+                out.push_back({TokenKind::Lt, "<", 0, tl, tc});
+            }
+            continue;
+        }
+        if (c == '>') {
+            if (i + 1 < n && source[i + 1] == '=') {
+                advance(2);
+                out.push_back({TokenKind::Ge, ">=", 0, tl, tc});
+            } else {
+                advance();
+                out.push_back({TokenKind::Gt, ">", 0, tl, tc});
+            }
+            continue;
+        }
+        if (c == '=') {
+            advance();
+            out.push_back({TokenKind::Eq, "=", 0, tl, tc});
+            continue;
+        }
+        if (c == ':') {
+            if (i + 1 < n && source[i + 1] == '-') {
+                advance(2);
+                out.push_back({TokenKind::ColonDash, ":-", 0, tl, tc});
+            } else {
+                advance();
+                out.push_back({TokenKind::Colon, ":", 0, tl, tc});
+            }
+            continue;
+        }
+        if (c == '"') {
+            advance();
+            std::string text;
+            bool closed = false;
+            while (i < n) {
+                const char d = source[i];
+                if (d == '"') {
+                    advance();
+                    closed = true;
+                    break;
+                }
+                if (d == '\\' && i + 1 < n) {
+                    advance();
+                    const char esc = source[i];
+                    switch (esc) {
+                        case 'n': text.push_back('\n'); break;
+                        case 't': text.push_back('\t'); break;
+                        case '\\': text.push_back('\\'); break;
+                        case '"': text.push_back('"'); break;
+                        default: fail(line, col, "unknown escape sequence");
+                    }
+                    advance();
+                    continue;
+                }
+                if (d == '\n') fail(tl, tc, "unterminated string literal");
+                text.push_back(d);
+                advance();
+            }
+            if (!closed) fail(tl, tc, "unterminated string literal");
+            out.push_back({TokenKind::String, std::move(text), 0, tl, tc});
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::string digits;
+            while (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+                digits.push_back(source[i]);
+                advance();
+            }
+            Token t{TokenKind::Number, digits, 0, tl, tc};
+            t.number = std::stoull(digits);
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (is_ident_start(c)) {
+            std::string word;
+            while (i < n && is_ident_char(source[i])) {
+                word.push_back(source[i]);
+                advance();
+            }
+            out.push_back({TokenKind::Identifier, std::move(word), 0, tl, tc});
+            continue;
+        }
+        fail(line, col, std::string("unexpected character '") + c + "'");
+    }
+    out.push_back({TokenKind::End, "<eof>", 0, line, col});
+    return out;
+}
+
+} // namespace dtree::datalog

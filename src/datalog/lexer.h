@@ -1,0 +1,52 @@
+#pragma once
+
+// Hand-written lexer for the soufflette Datalog dialect.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dtree::datalog {
+
+enum class TokenKind {
+    Identifier,  // edge, path, x, number
+    Number,      // 42
+    String,      // "foo" (text holds the unescaped contents)
+    Dot,         // .
+    Comma,       // ,
+    LParen,      // (
+    RParen,      // )
+    ColonDash,   // :-
+    Colon,       // :
+    Bang,        // !
+    Lt,          // <
+    Le,          // <=
+    Gt,          // >
+    Ge,          // >=
+    Eq,          // =
+    Ne,          // !=
+    Directive,   // .decl / .input / .output (dot fused with keyword)
+    End,
+};
+
+struct Token {
+    TokenKind kind;
+    std::string text; // identifier / directive name / number spelling
+    std::uint64_t number = 0;
+    int line = 0;
+    int column = 0;
+};
+
+/// Thrown (as std::runtime_error payload) on malformed input; carries
+/// line/column context in the message.
+struct LexError {
+    std::string message;
+    int line;
+    int column;
+};
+
+/// Tokenises a whole program. `//` line comments and `/* */` block comments
+/// are skipped. Throws std::runtime_error on invalid characters.
+std::vector<Token> lex(const std::string& source);
+
+} // namespace dtree::datalog

@@ -1,0 +1,209 @@
+#include "datalog/parser.h"
+
+#include <stdexcept>
+
+#include "datalog/lexer.h"
+
+namespace dtree::datalog {
+
+namespace {
+
+class Parser {
+public:
+    explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+    Program parse_program() {
+        Program prog;
+        int wildcard_counter = 0;
+        wildcards_ = &wildcard_counter;
+        while (!at(TokenKind::End)) {
+            if (at(TokenKind::Directive)) {
+                parse_directive(prog);
+            } else {
+                prog.rules.push_back(parse_rule());
+            }
+        }
+        return prog;
+    }
+
+private:
+    const Token& peek(std::size_t ahead = 0) const {
+        const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+        return tokens_[idx];
+    }
+
+    bool at(TokenKind k) const { return peek().kind == k; }
+
+    const Token& advance() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+
+    const Token& expect(TokenKind k, const char* what) {
+        if (!at(k)) fail(std::string("expected ") + what);
+        return advance();
+    }
+
+    [[noreturn]] void fail(const std::string& message) const {
+        const Token& t = peek();
+        throw std::runtime_error("parse error at " + std::to_string(t.line) + ":" +
+                                 std::to_string(t.column) + " near '" + t.text +
+                                 "': " + message);
+    }
+
+    // .decl name(attr:type, ...) [input] [output]
+    // .input name / .output name  (alternate marker form)
+    void parse_directive(Program& prog) {
+        const Token d = advance();
+        if (d.text == "decl") {
+            RelationDecl decl;
+            decl.name = expect(TokenKind::Identifier, "relation name").text;
+            expect(TokenKind::LParen, "'('");
+            for (;;) {
+                const Token& attr = expect(TokenKind::Identifier, "attribute name");
+                decl.attribute_names.push_back(attr.text);
+                AttrType type = AttrType::Number; // default when `:type` omitted
+                if (at(TokenKind::Colon)) {
+                    advance();
+                    const std::string type_name =
+                        expect(TokenKind::Identifier, "type name").text;
+                    if (type_name == "number" || type_name == "unsigned") {
+                        type = AttrType::Number;
+                    } else if (type_name == "symbol") {
+                        type = AttrType::Symbol;
+                    } else {
+                        fail("unknown attribute type '" + type_name +
+                             "' (expected number or symbol)");
+                    }
+                }
+                decl.attribute_types.push_back(type);
+                if (at(TokenKind::Comma)) {
+                    advance();
+                    continue;
+                }
+                break;
+            }
+            expect(TokenKind::RParen, "')'");
+            // Markers are optional trailing keywords; anything else starts
+            // the next clause.
+            while (at(TokenKind::Identifier) &&
+                   (peek().text == "input" || peek().text == "output")) {
+                const std::string marker = advance().text;
+                (marker == "input" ? decl.is_input : decl.is_output) = true;
+            }
+            if (decl.arity() == 0 || decl.arity() > kMaxArity) {
+                fail("relation arity must be between 1 and " + std::to_string(kMaxArity));
+            }
+            prog.declarations.push_back(std::move(decl));
+        } else if (d.text == "input" || d.text == "output") {
+            const std::string name = expect(TokenKind::Identifier, "relation name").text;
+            for (auto& decl : prog.declarations) {
+                if (decl.name == name) {
+                    (d.text == "input" ? decl.is_input : decl.is_output) = true;
+                    return;
+                }
+            }
+            fail("directive references undeclared relation '" + name + "'");
+        } else {
+            fail("unknown directive '." + d.text + "'");
+        }
+    }
+
+    // fact:  atom .
+    // rule:  atom :- atom | !atom | term OP term, ... .
+    Rule parse_rule() {
+        Rule rule;
+        rule.head = parse_atom(/*allow_negation=*/false);
+        if (at(TokenKind::ColonDash)) {
+            advance();
+            for (;;) {
+                if (starts_constraint()) {
+                    rule.constraints.push_back(parse_constraint());
+                } else {
+                    rule.body.push_back(parse_atom(/*allow_negation=*/true));
+                }
+                if (at(TokenKind::Comma)) {
+                    advance();
+                    continue;
+                }
+                break;
+            }
+        }
+        expect(TokenKind::Dot, "'.' at end of clause");
+        return rule;
+    }
+
+    /// A body element is a constraint iff it starts with a term (identifier
+    /// or number) followed by a comparison operator rather than '('.
+    bool starts_constraint() const {
+        if (at(TokenKind::Number) || at(TokenKind::String)) return true;
+        if (!at(TokenKind::Identifier)) return false;
+        return peek(1).kind != TokenKind::LParen;
+    }
+
+    static bool is_cmp(TokenKind k) {
+        return k == TokenKind::Lt || k == TokenKind::Le || k == TokenKind::Gt ||
+               k == TokenKind::Ge || k == TokenKind::Eq || k == TokenKind::Ne;
+    }
+
+    Constraint parse_constraint() {
+        Constraint c;
+        c.lhs = parse_argument();
+        if (!is_cmp(peek().kind)) fail("expected comparison operator");
+        switch (advance().kind) {
+            case TokenKind::Lt: c.op = Constraint::Op::Lt; break;
+            case TokenKind::Le: c.op = Constraint::Op::Le; break;
+            case TokenKind::Gt: c.op = Constraint::Op::Gt; break;
+            case TokenKind::Ge: c.op = Constraint::Op::Ge; break;
+            case TokenKind::Eq: c.op = Constraint::Op::Eq; break;
+            default: c.op = Constraint::Op::Ne; break;
+        }
+        c.rhs = parse_argument();
+        return c;
+    }
+
+    Atom parse_atom(bool allow_negation) {
+        Atom atom;
+        if (at(TokenKind::Bang)) {
+            if (!allow_negation) fail("negation is not allowed in rule heads");
+            advance();
+            atom.negated = true;
+        }
+        atom.relation = expect(TokenKind::Identifier, "relation name").text;
+        expect(TokenKind::LParen, "'('");
+        for (;;) {
+            atom.args.push_back(parse_argument());
+            if (at(TokenKind::Comma)) {
+                advance();
+                continue;
+            }
+            break;
+        }
+        expect(TokenKind::RParen, "')'");
+        return atom;
+    }
+
+    Argument parse_argument() {
+        if (at(TokenKind::Number)) {
+            return Argument::number(advance().number);
+        }
+        if (at(TokenKind::String)) {
+            return Argument::symbol(advance().text);
+        }
+        const Token& t = expect(TokenKind::Identifier, "variable or constant");
+        if (t.text == "_") {
+            // Each wildcard is a distinct fresh variable.
+            return Argument::variable("_w" + std::to_string((*wildcards_)++));
+        }
+        return Argument::variable(t.text);
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+    int* wildcards_ = nullptr;
+};
+
+} // namespace
+
+Program parse(const std::string& source) {
+    return Parser(lex(source)).parse_program();
+}
+
+} // namespace dtree::datalog

@@ -1,0 +1,16 @@
+#pragma once
+
+// Recursive-descent parser for the soufflette Datalog dialect (grammar in
+// ast.h). Throws std::runtime_error with line/column context on syntax
+// errors; semantic validation lives in semantics.h.
+
+#include <string>
+
+#include "datalog/ast.h"
+
+namespace dtree::datalog {
+
+/// Parses a complete program from source text.
+Program parse(const std::string& source);
+
+} // namespace dtree::datalog

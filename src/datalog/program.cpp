@@ -1,0 +1,11 @@
+#include "datalog/program.h"
+
+#include "datalog/parser.h"
+
+namespace dtree::datalog {
+
+AnalyzedProgram compile(const std::string& source) {
+    return analyze(parse(source));
+}
+
+} // namespace dtree::datalog

@@ -1,0 +1,266 @@
+#pragma once
+
+// Relation storage for the soufflette engine.
+//
+// A Relation is a set of fixed-arity tuples held in one or more *indexes*:
+// copies of the tuple set stored under permuted column orders, so that every
+// body-atom lookup the program needs is a single range query (see
+// index_selection.h). The actual container is a template parameter — this is
+// the seam where the paper's Fig. 5 experiment plugs in the specialized
+// B-tree, the STL containers, the concurrent hash set, etc.
+//
+// Threading contract = the paper's phase-concurrency (§2): during a rule
+// evaluation phase many threads insert into the *new* relations and read the
+// *full/delta* relations; no relation is read and written in the same phase.
+// Storage adapters must be thread-safe for insert if the engine runs with
+// more than one thread.
+//
+// Per-thread LocalView objects carry the adapter's per-thread state
+// (operation hints!) and plain op counters that are aggregated afterwards —
+// this is what produces the Table 2 statistics and the §4.3 hint hit rates.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hints.h"
+#include "datalog/ast.h"
+#include "datalog/index_selection.h"
+
+namespace dtree::datalog {
+
+/// Operation counters (Table 2's "Evaluation Statistics" row group).
+struct OpCounters {
+    std::uint64_t inserts = 0;
+    std::uint64_t membership_tests = 0;
+    std::uint64_t lower_bound_calls = 0;
+    std::uint64_t upper_bound_calls = 0;
+
+    OpCounters& operator+=(const OpCounters& o) {
+        inserts += o.inserts;
+        membership_tests += o.membership_tests;
+        lower_bound_calls += o.lower_bound_calls;
+        upper_bound_calls += o.upper_bound_calls;
+        return *this;
+    }
+};
+
+template <typename Storage>
+class Relation {
+public:
+    Relation(std::string name, unsigned arity, std::vector<IndexOrder> orders)
+        : name_(std::move(name)), arity_(arity), orders_(std::move(orders)) {
+        if constexpr (!Storage::ordered) {
+            // Unordered storage cannot serve range queries; secondary
+            // indexes would be pure overhead. Keep only the primary.
+            orders_.resize(1);
+        }
+        for (std::size_t i = 0; i < orders_.size(); ++i) {
+            indexes_.push_back(std::make_unique<Storage>());
+        }
+    }
+
+    const std::string& name() const { return name_; }
+    unsigned arity() const { return arity_; }
+    std::size_t index_count() const { return orders_.size(); }
+    const IndexOrder& order(unsigned idx) const { return orders_[idx]; }
+
+    bool empty() const {
+        // O(1) where the storage offers it; the concurrent B-tree keeps no
+        // element counter (size() walks the tree), so this matters: the
+        // fixpoint loop checks delta emptiness every iteration.
+        if constexpr (requires(const Storage& s) { s.empty(); }) {
+            return indexes_[0]->empty();
+        } else {
+            return indexes_[0]->size() == 0;
+        }
+    }
+    std::size_t size() const { return indexes_[0]->size(); }
+
+    /// Sequential insert (loading facts, tests). Not counted.
+    bool insert(const StorageTuple& t) {
+        const bool fresh = indexes_[0]->insert(permute(t, 0));
+        if (fresh) {
+            for (unsigned i = 1; i < indexes_.size(); ++i) {
+                indexes_[i]->insert(permute(t, i));
+            }
+        }
+        return fresh;
+    }
+
+    /// Unsynchronised full scan over the primary index (tuples come back in
+    /// source column order; primary order is the identity permutation).
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        indexes_[0]->for_each(fn);
+    }
+
+    /// Moves the contents of another relation in (delta := new).
+    void swap_contents(Relation& other) { indexes_.swap(other.indexes_); }
+
+    void clear() {
+        for (auto& idx : indexes_) idx->clear();
+    }
+
+    /// Aggregated counters from all retired LocalViews.
+    OpCounters counters() const {
+        OpCounters c;
+        c.inserts = inserts_.load(std::memory_order_relaxed);
+        c.membership_tests = membership_.load(std::memory_order_relaxed);
+        c.lower_bound_calls = lower_.load(std::memory_order_relaxed);
+        c.upper_bound_calls = upper_.load(std::memory_order_relaxed);
+        return c;
+    }
+
+    /// Aggregated hint statistics from all retired LocalViews (zero for
+    /// storages without hints).
+    HintStats hint_stats() const {
+        HintStats s;
+        for (int i = 0; i < 4; ++i) {
+            s.hits[i] = hint_hits_[i].load(std::memory_order_relaxed);
+            s.misses[i] = hint_misses_[i].load(std::memory_order_relaxed);
+        }
+        return s;
+    }
+
+    // -- per-thread access ---------------------------------------------------
+
+    /// A thread's private handle: adapter-local state (hints) + counters.
+    /// Destroying the view flushes its counters into the relation.
+    class LocalView {
+    public:
+        LocalView(Relation& rel, unsigned tid) : rel_(&rel) {
+            locals_.reserve(rel.indexes_.size());
+            for (auto& idx : rel.indexes_) locals_.push_back(idx->make_local(tid));
+        }
+
+        LocalView(LocalView&& o) noexcept
+            : rel_(o.rel_), locals_(std::move(o.locals_)), counters_(o.counters_) {
+            o.rel_ = nullptr; // the moved-from view must not retire
+        }
+        LocalView(const LocalView&) = delete;
+
+        ~LocalView() {
+            if (rel_) rel_->retire(*this);
+        }
+
+        /// Thread-safe insert into every index (set semantics decided by the
+        /// primary).
+        bool insert(const StorageTuple& t) {
+            ++counters_.inserts;
+            const bool fresh = locals_[0].insert(rel_->permute(t, 0));
+            if (fresh) {
+                for (unsigned i = 1; i < locals_.size(); ++i) {
+                    locals_[i].insert(rel_->permute(t, i));
+                }
+            }
+            return fresh;
+        }
+
+        /// Membership test on the primary index (hinted where supported).
+        bool contains(const StorageTuple& t) {
+            ++counters_.membership_tests;
+            return locals_[0].contains(rel_->permute(t, 0));
+        }
+
+        /// Range query: all tuples whose first `prefix` columns of index
+        /// `idx` equal `bound[0..prefix)`; fn receives tuples in SOURCE
+        /// column order.
+        template <typename Fn>
+        void scan_prefix(unsigned idx, const StorageTuple& bound, unsigned prefix,
+                         Fn&& fn) {
+            ++counters_.lower_bound_calls;
+            ++counters_.upper_bound_calls;
+            StorageTuple lo, hi;
+            for (unsigned c = 0; c < kMaxArity; ++c) {
+                if (c < prefix) {
+                    lo[c] = bound[c];
+                    hi[c] = bound[c];
+                } else {
+                    lo[c] = 0;
+                    hi[c] = std::numeric_limits<Value>::max();
+                }
+            }
+            const IndexOrder& order = rel_->orders_[idx];
+            if constexpr (has_local_range) {
+                locals_[idx].for_each_in_range(lo, hi, [&](const StorageTuple& stored) {
+                    fn(rel_->unpermute(stored, order));
+                });
+            } else {
+                rel_->indexes_[idx]->for_each_in_range(
+                    lo, hi,
+                    [&](const StorageTuple& stored) { fn(rel_->unpermute(stored, order)); });
+            }
+        }
+
+        /// Full scan (primary index).
+        template <typename Fn>
+        void scan_all(Fn&& fn) {
+            rel_->indexes_[0]->for_each(fn);
+        }
+
+        const OpCounters& counters() const { return counters_; }
+
+    private:
+        friend class Relation;
+
+        static constexpr bool has_local_range = requires(
+            typename Storage::local& l, const StorageTuple& t) {
+            l.for_each_in_range(t, t, [](const StorageTuple&) {});
+        };
+
+        Relation* rel_;
+        std::vector<typename Storage::local> locals_;
+        OpCounters counters_;
+    };
+
+    LocalView local_view(unsigned tid) { return LocalView(*this, tid); }
+
+private:
+    friend class LocalView;
+
+    StorageTuple permute(const StorageTuple& t, unsigned idx) const {
+        const IndexOrder& o = orders_[idx];
+        if (idx == 0) return t; // primary is the identity
+        StorageTuple out;
+        for (unsigned c = 0; c < o.arity; ++c) out[c] = t[o.order[c]];
+        return out;
+    }
+
+    StorageTuple unpermute(const StorageTuple& stored, const IndexOrder& o) const {
+        if (&o == &orders_[0]) return stored;
+        StorageTuple out;
+        for (unsigned c = 0; c < o.arity; ++c) out[o.order[c]] = stored[c];
+        return out;
+    }
+
+    void retire(LocalView& view) {
+        inserts_.fetch_add(view.counters_.inserts, std::memory_order_relaxed);
+        membership_.fetch_add(view.counters_.membership_tests, std::memory_order_relaxed);
+        lower_.fetch_add(view.counters_.lower_bound_calls, std::memory_order_relaxed);
+        upper_.fetch_add(view.counters_.upper_bound_calls, std::memory_order_relaxed);
+        if constexpr (requires(typename Storage::local& l) { l.stats(); }) {
+            for (auto& local : view.locals_) {
+                const HintStats& s = local.stats();
+                for (int i = 0; i < 4; ++i) {
+                    hint_hits_[i].fetch_add(s.hits[i], std::memory_order_relaxed);
+                    hint_misses_[i].fetch_add(s.misses[i], std::memory_order_relaxed);
+                }
+            }
+        }
+    }
+
+    std::string name_;
+    unsigned arity_;
+    std::vector<IndexOrder> orders_;
+    std::vector<std::unique_ptr<Storage>> indexes_;
+
+    std::atomic<std::uint64_t> inserts_{0}, membership_{0}, lower_{0}, upper_{0};
+    std::atomic<std::uint64_t> hint_hits_[4] = {};
+    std::atomic<std::uint64_t> hint_misses_[4] = {};
+};
+
+} // namespace dtree::datalog

@@ -1,0 +1,269 @@
+#include "datalog/semantics.h"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace dtree::datalog {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+    throw std::runtime_error("semantic error: " + message);
+}
+
+/// Tarjan's strongly-connected components over the predicate dependency
+/// graph. Returns a component id per node; ids are in REVERSE topological
+/// order (a property of Tarjan's algorithm we invert afterwards).
+class Tarjan {
+public:
+    explicit Tarjan(const std::vector<std::set<std::size_t>>& adj)
+        : adj_(adj),
+          index_(adj.size(), kUnvisited),
+          low_(adj.size(), 0),
+          on_stack_(adj.size(), false),
+          component_(adj.size(), 0) {}
+
+    std::vector<std::size_t> run(std::size_t& component_count) {
+        for (std::size_t v = 0; v < adj_.size(); ++v) {
+            if (index_[v] == kUnvisited) strongconnect(v);
+        }
+        component_count = components_;
+        return component_;
+    }
+
+private:
+    static constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+
+    void strongconnect(std::size_t v) {
+        // Iterative formulation: recursion depth equals graph size for chain
+        // programs, which real rulesets (100s of relations) can reach.
+        struct Frame {
+            std::size_t v;
+            std::set<std::size_t>::const_iterator it;
+        };
+        std::vector<Frame> call_stack;
+        visit(v);
+        call_stack.push_back({v, adj_[v].begin()});
+        while (!call_stack.empty()) {
+            Frame& f = call_stack.back();
+            if (f.it != adj_[f.v].end()) {
+                const std::size_t w = *f.it++;
+                if (index_[w] == kUnvisited) {
+                    visit(w);
+                    call_stack.push_back({w, adj_[w].begin()});
+                } else if (on_stack_[w]) {
+                    low_[f.v] = std::min(low_[f.v], index_[w]);
+                }
+                continue;
+            }
+            // f.v finished.
+            if (low_[f.v] == index_[f.v]) {
+                std::size_t w;
+                do {
+                    w = stack_.back();
+                    stack_.pop_back();
+                    on_stack_[w] = false;
+                    component_[w] = components_;
+                } while (w != f.v);
+                ++components_;
+            }
+            const std::size_t child = f.v;
+            call_stack.pop_back();
+            if (!call_stack.empty()) {
+                Frame& parent = call_stack.back();
+                low_[parent.v] = std::min(low_[parent.v], low_[child]);
+            }
+        }
+    }
+
+    void visit(std::size_t v) {
+        index_[v] = low_[v] = next_index_++;
+        stack_.push_back(v);
+        on_stack_[v] = true;
+    }
+
+    const std::vector<std::set<std::size_t>>& adj_;
+    std::vector<std::size_t> index_, low_;
+    std::vector<bool> on_stack_;
+    std::vector<std::size_t> component_;
+    std::vector<std::size_t> stack_;
+    std::size_t next_index_ = 0;
+    std::size_t components_ = 0;
+};
+
+} // namespace
+
+AnalyzedProgram analyze(Program program) {
+    AnalyzedProgram out;
+
+    // -- resolve declarations -------------------------------------------------
+    for (const auto& d : program.declarations) {
+        if (out.decl_index.count(d.name)) fail("relation '" + d.name + "' declared twice");
+        out.decl_index[d.name] = out.decls.size();
+        out.decls.push_back(d);
+        // Programs built programmatically may omit types: default to number.
+        out.decls.back().attribute_types.resize(d.arity(), AttrType::Number);
+    }
+    const std::size_t R = out.decls.size();
+
+    auto resolve = [&](const Atom& a) -> std::size_t {
+        auto it = out.decl_index.find(a.relation);
+        if (it == out.decl_index.end()) fail("undeclared relation '" + a.relation + "'");
+        if (out.decls[it->second].arity() != a.args.size()) {
+            fail("relation '" + a.relation + "' used with arity " +
+                 std::to_string(a.args.size()) + ", declared with " +
+                 std::to_string(out.decls[it->second].arity()));
+        }
+        return it->second;
+    };
+
+    // -- attribute type checking -----------------------------------------------
+    // Variables unify across their occurrences; constants must match the
+    // column's declared type (numbers in number columns, string literals in
+    // symbol columns).
+    auto check_types = [&](const Rule& rule) {
+        std::map<std::string, AttrType> var_types;
+        auto check_atom = [&](const Atom& a) {
+            const RelationDecl& decl = out.decls[out.decl_index.at(a.relation)];
+            for (std::size_t c = 0; c < a.args.size(); ++c) {
+                const AttrType required = decl.attribute_types[c];
+                const Argument& arg = a.args[c];
+                if (arg.kind == Argument::Kind::Constant && required != AttrType::Number) {
+                    fail("numeric constant in symbol column " + std::to_string(c + 1) +
+                         " of '" + a.relation + "'");
+                }
+                if (arg.is_symbol() && required != AttrType::Symbol) {
+                    fail("string literal in number column " + std::to_string(c + 1) +
+                         " of '" + a.relation + "'");
+                }
+                if (arg.is_variable()) {
+                    auto [it, fresh] = var_types.emplace(arg.var, required);
+                    if (!fresh && it->second != required) {
+                        fail("variable '" + arg.var + "' used as both number and symbol");
+                    }
+                }
+            }
+        };
+        for (const auto& atom : rule.body) check_atom(atom);
+        check_atom(rule.head);
+        for (const auto& c : rule.constraints) {
+            auto side_type = [&](const Argument& arg) {
+                if (arg.is_symbol()) return AttrType::Symbol;
+                if (arg.is_variable()) {
+                    auto it = var_types.find(arg.var);
+                    return it == var_types.end() ? AttrType::Number : it->second;
+                }
+                return AttrType::Number;
+            };
+            const AttrType lt = side_type(c.lhs), rt = side_type(c.rhs);
+            if (lt != rt) fail("comparison between number and symbol");
+            const bool ordering = c.op != Constraint::Op::Eq && c.op != Constraint::Op::Ne;
+            if (ordering && lt == AttrType::Symbol) {
+                fail("ordering comparison on symbols (only = and != are defined)");
+            }
+        }
+    };
+
+    // -- per-rule checks -------------------------------------------------------
+    for (const auto& rule : program.rules) {
+        resolve(rule.head);
+        if (rule.is_fact()) {
+            for (const auto& arg : rule.head.args) {
+                if (arg.is_variable()) {
+                    fail("fact for '" + rule.head.relation + "' contains a variable");
+                }
+            }
+            check_types(rule);
+            continue;
+        }
+        std::set<std::string> positive_vars;
+        for (const auto& atom : rule.body) {
+            resolve(atom);
+            if (!atom.negated) {
+                for (const auto& arg : atom.args) {
+                    if (arg.is_variable()) positive_vars.insert(arg.var);
+                }
+            }
+        }
+        for (const auto& arg : rule.head.args) {
+            if (arg.is_variable() && !positive_vars.count(arg.var)) {
+                fail("head variable '" + arg.var + "' of a rule for '" +
+                     rule.head.relation + "' is not bound by a positive body atom");
+            }
+        }
+        for (const auto& atom : rule.body) {
+            if (!atom.negated) continue;
+            for (const auto& arg : atom.args) {
+                if (arg.is_variable() && !positive_vars.count(arg.var)) {
+                    fail("variable '" + arg.var + "' in negated atom '" + atom.relation +
+                         "' is not bound by a positive body atom");
+                }
+            }
+        }
+        for (const auto& c : rule.constraints) {
+            for (const Argument* arg : {&c.lhs, &c.rhs}) {
+                if (arg->is_variable() && !positive_vars.count(arg->var)) {
+                    fail("variable '" + arg->var +
+                         "' in a comparison constraint is not bound by a positive "
+                         "body atom");
+                }
+            }
+        }
+        check_types(rule);
+    }
+
+    // -- dependency graph: head depends on each body relation -----------------
+    std::vector<std::set<std::size_t>> deps(R);          // edges head -> body
+    std::vector<std::set<std::size_t>> negative_deps(R); // negated subset
+    for (const auto& rule : program.rules) {
+        if (rule.is_fact()) continue;
+        const std::size_t h = out.decl_index.at(rule.head.relation);
+        for (const auto& atom : rule.body) {
+            const std::size_t b = out.decl_index.at(atom.relation);
+            deps[h].insert(b);
+            if (atom.negated) negative_deps[h].insert(b);
+        }
+    }
+
+    std::size_t component_count = 0;
+    const std::vector<std::size_t> comp = Tarjan(deps).run(component_count);
+
+    // Tarjan emits components in reverse topological order of the dependency
+    // graph "head -> body": a component is numbered only after everything it
+    // depends on. That IS evaluation order already.
+    std::vector<Stratum> strata(component_count);
+    for (std::size_t r = 0; r < R; ++r) strata[comp[r]].relations.push_back(r);
+
+    // Negation must not stay inside one component (unstratifiable).
+    for (std::size_t h = 0; h < R; ++h) {
+        for (std::size_t b : negative_deps[h]) {
+            if (comp[h] == comp[b]) {
+                fail("program is not stratifiable: '" + out.decls[h].name +
+                     "' depends negatively on '" + out.decls[b].name +
+                     "' within the same recursive component");
+            }
+        }
+    }
+
+    // -- assign rules to the stratum of their head; mark recursive ones --------
+    out.rule_recursive.assign(program.rules.size(), false);
+    for (std::size_t i = 0; i < program.rules.size(); ++i) {
+        const auto& rule = program.rules[i];
+        const std::size_t h = out.decl_index.at(rule.head.relation);
+        strata[comp[h]].rules.push_back(i);
+        if (rule.is_fact()) continue;
+        for (const auto& atom : rule.body) {
+            if (!atom.negated && comp[out.decl_index.at(atom.relation)] == comp[h]) {
+                out.rule_recursive[i] = true;
+                strata[comp[h]].recursive = true;
+            }
+        }
+    }
+
+    out.strata = std::move(strata);
+    out.program = std::move(program);
+    return out;
+}
+
+} // namespace dtree::datalog

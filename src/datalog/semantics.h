@@ -1,0 +1,50 @@
+#pragma once
+
+// Semantic analysis for soufflette programs:
+//   * declaration / arity / groundedness checks,
+//   * predicate dependency graph + Tarjan SCC condensation,
+//   * stratification (negation must not cross into the same stratum),
+//   * per-stratum rule partitioning with recursive-rule marking.
+//
+// The evaluator consumes the resulting AnalyzedProgram; any violation throws
+// std::runtime_error with a human-readable explanation.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace dtree::datalog {
+
+/// One evaluation stratum: the relations defined in it and the rules that
+/// must reach fixpoint together.
+struct Stratum {
+    std::vector<std::size_t> relations;  // indices into AnalyzedProgram::decls
+    std::vector<std::size_t> rules;      // indices into Program::rules
+    bool recursive = false;              // does the stratum need a fixpoint loop?
+};
+
+struct AnalyzedProgram {
+    Program program;
+    std::vector<RelationDecl> decls;             // all relations, resolved
+    std::map<std::string, std::size_t> decl_index;
+    std::vector<Stratum> strata;                 // in dependency (evaluation) order
+
+    /// For each rule: does its body reference a relation of the same stratum
+    /// (=> must participate in the semi-naïve loop)?
+    std::vector<bool> rule_recursive;
+
+    std::size_t relation_id(const std::string& name) const {
+        return decl_index.at(name);
+    }
+};
+
+/// Validates and stratifies a parsed program. Throws on: undeclared
+/// relations, arity mismatches, non-ground facts, rules whose head variables
+/// or negated-atom variables are not bound by a positive body atom, and
+/// negation cycles (unstratifiable programs).
+AnalyzedProgram analyze(Program program);
+
+} // namespace dtree::datalog

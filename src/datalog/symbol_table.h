@@ -1,0 +1,71 @@
+#pragma once
+
+// Symbol table: bidirectional interning of strings to dense RamDomain
+// values, as in Soufflé. Datalog evaluation only ever sees integers; symbols
+// exist at the boundary (program text, fact files, output writing).
+//
+// intern() is thread-safe (fact loading may be parallelised by callers);
+// name() is safe for ids observed through a happens-before edge (interned
+// strings are never moved: deque storage).
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "datalog/ast.h"
+
+namespace dtree::datalog {
+
+class SymbolTable {
+public:
+    /// Returns the id of the symbol, interning it on first sight.
+    Value intern(std::string_view symbol) {
+        std::lock_guard guard(mutex_);
+        auto it = ids_.find(symbol);
+        if (it != ids_.end()) return it->second;
+        const Value id = static_cast<Value>(names_.size());
+        names_.emplace_back(symbol);
+        ids_.emplace(names_.back(), id);
+        return id;
+    }
+
+    /// Id lookup without interning; throws for unknown symbols.
+    Value id(std::string_view symbol) const {
+        std::lock_guard guard(mutex_);
+        auto it = ids_.find(symbol);
+        if (it == ids_.end()) {
+            throw std::out_of_range("unknown symbol: " + std::string(symbol));
+        }
+        return it->second;
+    }
+
+    /// Name of an interned id; throws for out-of-range ids.
+    const std::string& name(Value id) const {
+        std::lock_guard guard(mutex_);
+        if (id >= names_.size()) {
+            throw std::out_of_range("symbol id out of range: " + std::to_string(id));
+        }
+        return names_[static_cast<std::size_t>(id)];
+    }
+
+    bool contains(std::string_view symbol) const {
+        std::lock_guard guard(mutex_);
+        return ids_.count(symbol) > 0;
+    }
+
+    std::size_t size() const {
+        std::lock_guard guard(mutex_);
+        return names_.size();
+    }
+
+private:
+    mutable std::mutex mutex_;
+    std::deque<std::string> names_; // stable addresses for the map's keys
+    std::unordered_map<std::string_view, Value> ids_;
+};
+
+} // namespace dtree::datalog

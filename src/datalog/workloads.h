@@ -1,0 +1,50 @@
+#pragma once
+
+// Synthetic workload generators reproducing the *shape* of the paper's §4.3
+// real-world benchmarks (the original fact bases — Doop on DaCapo, an Amazon
+// EC2 network snapshot — are proprietary; see DESIGN.md §3 substitution 4):
+//
+//   * doop_like    — Andersen-style var-points-to: insertion-heavy, Zipf-
+//                    skewed assignments, derived tuples >> inputs (Table 2's
+//                    left column: 8.3e7 inserts vs 1.5e8 membership tests).
+//   * ec2_like     — network reachability with per-derivation ACL checks:
+//                    read-heavy (Table 2's right column: 4.2e9 membership
+//                    tests vs 2.1e7 inserts; tiny input, one relation holding
+//                    ~75 % of all produced tuples), highly ordered accesses
+//                    (=> high hint hit rates).
+//   * transitive_closure — the running example of §2 (Fig. 1), on several
+//                    graph families.
+//
+// All generators are deterministic in their seed.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace dtree::datalog {
+
+struct Workload {
+    std::string name;
+    std::string source; ///< soufflette program text
+    std::vector<std::pair<std::string, std::vector<StorageTuple>>> facts;
+    std::vector<std::string> output_relations;
+};
+
+enum class GraphKind { Random, Chain, Grid, PreferentialAttachment };
+
+/// Transitive closure (Fig. 1) over a generated edge relation.
+Workload make_transitive_closure(GraphKind kind, std::size_t nodes,
+                                 std::size_t edges, std::uint64_t seed);
+
+/// Andersen-style points-to analysis; `scale` is roughly the number of
+/// program variables (heap objects, assignments etc. derive from it).
+Workload make_doop_like(std::size_t scale, std::uint64_t seed);
+
+/// Network reachability with ACL filtering; `scale` is roughly the number
+/// of network nodes.
+Workload make_ec2_like(std::size_t scale, std::uint64_t seed);
+
+} // namespace dtree::datalog

@@ -1,0 +1,83 @@
+#pragma once
+
+// Tiny flag parser shared by the figure-reproduction benches. Supports
+// --name=value and boolean --name forms; anything unrecognised is reported
+// and ignored so harness scripts stay robust.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtree::util {
+
+class Cli {
+public:
+    Cli(int argc, char** argv) {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg.rfind("--", 0) != 0) {
+                std::cerr << "ignoring positional argument: " << arg << "\n";
+                continue;
+            }
+            arg = arg.substr(2);
+            auto eq = arg.find('=');
+            if (eq == std::string::npos) {
+                flags_[arg] = "1";
+            } else {
+                flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+            }
+        }
+    }
+
+    bool has(const std::string& name) const { return flags_.count(name) > 0; }
+
+    bool get_bool(const std::string& name, bool def = false) const {
+        auto it = flags_.find(name);
+        if (it == flags_.end()) return def;
+        return it->second != "0" && it->second != "false";
+    }
+
+    std::uint64_t get_u64(const std::string& name, std::uint64_t def) const {
+        auto it = flags_.find(name);
+        if (it == flags_.end()) return def;
+        return std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+    double get_double(const std::string& name, double def) const {
+        auto it = flags_.find(name);
+        if (it == flags_.end()) return def;
+        return std::strtod(it->second.c_str(), nullptr);
+    }
+
+    std::string get_str(const std::string& name, std::string def) const {
+        auto it = flags_.find(name);
+        if (it == flags_.end()) return def;
+        return it->second;
+    }
+
+    /// Comma-separated unsigned list, e.g. --threads=1,2,4,8.
+    std::vector<unsigned> get_list(const std::string& name,
+                                   std::vector<unsigned> def) const {
+        auto it = flags_.find(name);
+        if (it == flags_.end()) return def;
+        std::vector<unsigned> out;
+        const std::string& s = it->second;
+        std::size_t pos = 0;
+        while (pos < s.size()) {
+            auto comma = s.find(',', pos);
+            if (comma == std::string::npos) comma = s.size();
+            out.push_back(static_cast<unsigned>(
+                std::strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10)));
+            pos = comma + 1;
+        }
+        return out;
+    }
+
+private:
+    std::map<std::string, std::string> flags_;
+};
+
+} // namespace dtree::util

@@ -1,0 +1,54 @@
+#pragma once
+
+// Minimal thread-team helpers. The library itself is runtime-agnostic (any
+// thread may call insert concurrently); these helpers give tests and benches
+// a uniform way to fan work out across T threads and to partition index
+// ranges the way the paper's benchmarks do (contiguous blocks per thread,
+// which on the paper's NUMA testbed keeps most traffic socket-local).
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace dtree::util {
+
+/// Contiguous [begin, end) block for thread t of T over n items.
+/// Remainder items are spread over the leading threads so block sizes differ
+/// by at most one.
+inline std::pair<std::size_t, std::size_t> block_range(std::size_t n,
+                                                       unsigned t,
+                                                       unsigned T) {
+    const std::size_t base = n / T;
+    const std::size_t rem = n % T;
+    const std::size_t begin = static_cast<std::size_t>(t) * base + std::min<std::size_t>(t, rem);
+    const std::size_t len = base + (t < rem ? 1 : 0);
+    return {begin, begin + len};
+}
+
+/// Runs fn(thread_id) on T threads and joins them all. fn must be callable
+/// concurrently; exceptions escaping fn terminate (as with raw std::thread).
+template <typename Fn>
+void run_threads(unsigned T, Fn&& fn) {
+    if (T <= 1) {
+        fn(0u);
+        return;
+    }
+    std::vector<std::thread> team;
+    team.reserve(T);
+    for (unsigned t = 0; t < T; ++t) team.emplace_back([&fn, t] { fn(t); });
+    for (auto& th : team) th.join();
+}
+
+/// Parallel for over [0, n): each of T threads receives its contiguous block
+/// as fn(thread_id, begin, end).
+template <typename Fn>
+void parallel_blocks(std::size_t n, unsigned T, Fn&& fn) {
+    run_threads(T, [&](unsigned t) {
+        auto [b, e] = block_range(n, t, T);
+        fn(t, b, e);
+    });
+}
+
+} // namespace dtree::util

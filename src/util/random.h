@@ -1,0 +1,66 @@
+#pragma once
+
+// Deterministic random number utilities. Every generator in this repository
+// takes an explicit seed so experiments are reproducible run-to-run; nothing
+// here touches std::random_device.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace dtree::util {
+
+/// The single PRNG type used across the repository (fast, well distributed).
+using Rng = std::mt19937_64;
+
+/// Uniform integer in [lo, hi] inclusive.
+template <typename T>
+T uniform_int(Rng& rng, T lo, T hi) {
+    std::uniform_int_distribution<T> dist(lo, hi);
+    return dist(rng);
+}
+
+/// Fisher-Yates shuffle with an explicit generator.
+template <typename Vec>
+void shuffle(Vec& v, Rng& rng) {
+    std::shuffle(v.begin(), v.end(), rng);
+}
+
+/// A permutation of [0, n).
+inline std::vector<std::size_t> permutation(std::size_t n, Rng& rng) {
+    std::vector<std::size_t> p(n);
+    std::iota(p.begin(), p.end(), std::size_t{0});
+    shuffle(p, rng);
+    return p;
+}
+
+/// Zipf-distributed integers over [0, n) with exponent s, via the classic
+/// rejection-inversion-free CDF table method (fine for the n we use).
+/// Used by the Doop-like workload generator to skew variable popularity the
+/// way real points-to fact bases are skewed.
+class Zipf {
+public:
+    Zipf(std::size_t n, double s) : cdf_(n) {
+        double sum = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+            cdf_[i] = sum;
+        }
+        for (auto& c : cdf_) c /= sum;
+    }
+
+    std::size_t operator()(Rng& rng) const {
+        std::uniform_real_distribution<double> u(0.0, 1.0);
+        double x = u(rng);
+        auto it = std::lower_bound(cdf_.begin(), cdf_.end(), x);
+        return static_cast<std::size_t>(it - cdf_.begin());
+    }
+
+private:
+    std::vector<double> cdf_;
+};
+
+} // namespace dtree::util

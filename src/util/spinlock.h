@@ -1,0 +1,32 @@
+#pragma once
+
+// Test-and-test-and-set spinlock used by the lock-striped hash set baseline
+// and the pessimistic-locking ablation tree. Satisfies Lockable.
+
+#include <atomic>
+
+#include "core/optimistic_lock.h" // cpu_relax
+
+namespace dtree::util {
+
+class Spinlock {
+public:
+    void lock() {
+        for (;;) {
+            if (!flag_.exchange(true, std::memory_order_acquire)) return;
+            while (flag_.load(std::memory_order_relaxed)) dtree::cpu_relax();
+        }
+    }
+
+    bool try_lock() {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+private:
+    std::atomic<bool> flag_{false};
+};
+
+} // namespace dtree::util

@@ -1,0 +1,67 @@
+#pragma once
+
+// Paper-style table/series printer. Every figure-reproduction bench uses this
+// so output looks like the rows/series the paper plots: one header row of
+// x-axis values, one row per data structure with the measured metric.
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dtree::util {
+
+/// Accumulates a named series of (x, y) samples and prints them aligned.
+class SeriesTable {
+public:
+    explicit SeriesTable(std::string metric, std::string x_label)
+        : metric_(std::move(metric)), x_label_(std::move(x_label)) {}
+
+    void set_x(std::vector<std::string> xs) { xs_ = std::move(xs); }
+
+    void add(const std::string& series, double value) {
+        if (rows_.empty() || rows_.back().first != series) rows_.push_back({series, {}});
+        rows_.back().second.push_back(value);
+    }
+
+    void print(std::ostream& os = std::cout) const {
+        const int name_w = name_width();
+        os << metric_ << "\n";
+        os << std::left << std::setw(name_w) << x_label_;
+        for (const auto& x : xs_) os << std::right << std::setw(col_w) << x;
+        os << "\n";
+        for (const auto& [name, vals] : rows_) {
+            os << std::left << std::setw(name_w) << name;
+            for (double v : vals) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), "%*.3f", col_w, v);
+                os << buf;
+            }
+            os << "\n";
+        }
+        os.flush();
+    }
+
+private:
+    static constexpr int col_w = 12;
+
+    int name_width() const {
+        std::size_t w = x_label_.size();
+        for (const auto& [name, _] : rows_) w = std::max(w, name.size());
+        return static_cast<int>(w) + 2;
+    }
+
+    std::string metric_;
+    std::string x_label_;
+    std::vector<std::string> xs_;
+    std::vector<std::pair<std::string, std::vector<double>>> rows_;
+};
+
+/// Section banner used between sub-figures, e.g. "[fig 3a] ...".
+inline void banner(const std::string& title, std::ostream& os = std::cout) {
+    os << "\n=== " << title << " ===\n";
+}
+
+} // namespace dtree::util

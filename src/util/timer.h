@@ -1,0 +1,44 @@
+#pragma once
+
+// Lightweight wall-clock timing utilities shared by tests, benches and the
+// Datalog evaluator's profiling output.
+
+#include <chrono>
+#include <cstdint>
+
+namespace dtree::util {
+
+/// Monotonic stopwatch. start() on construction; elapsed_*() reads without
+/// stopping, restart() re-arms.
+class Timer {
+public:
+    Timer() : start_(clock::now()) {}
+
+    void restart() { start_ = clock::now(); }
+
+    /// Seconds since construction / last restart.
+    double elapsed_s() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    /// Nanoseconds since construction / last restart.
+    std::uint64_t elapsed_ns() const {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - start_)
+                .count());
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Times a callable once and returns the wall-clock seconds it took.
+template <typename Fn>
+double time_s(Fn&& fn) {
+    Timer t;
+    fn();
+    return t.elapsed_s();
+}
+
+} // namespace dtree::util

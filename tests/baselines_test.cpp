@@ -1,0 +1,252 @@
+// Tests for the baseline/comparator data structures (Table 1): each must
+// behave as a correct set under its documented threading contract, since the
+// credibility of every benchmark comparison rests on it.
+
+#include "baselines/adapters.h"
+#include "core/tuple.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+namespace {
+
+using dtree::Tuple;
+using dtree::util::run_threads;
+
+// -- classic_btree (google-btree stand-in) ------------------------------------
+
+TEST(ClassicBTree, MatchesStdSetRandom) {
+    dtree::baselines::classic_btree<std::uint64_t> t;
+    std::set<std::uint64_t> ref;
+    dtree::util::Rng rng(5);
+    for (int i = 0; i < 20000; ++i) {
+        auto v = dtree::util::uniform_int<std::uint64_t>(rng, 0, 30000);
+        EXPECT_EQ(t.insert(v), ref.insert(v).second);
+    }
+    EXPECT_EQ(t.size(), ref.size());
+    std::vector<std::uint64_t> seen;
+    t.for_each([&](std::uint64_t k) { seen.push_back(k); });
+    EXPECT_TRUE(std::equal(seen.begin(), seen.end(), ref.begin(), ref.end()));
+    for (auto v : ref) EXPECT_TRUE(t.contains(v));
+    EXPECT_FALSE(t.contains(999999));
+}
+
+TEST(ClassicBTree, OrderedAndReverseInsert) {
+    dtree::baselines::classic_btree<std::uint64_t, dtree::ThreeWayComparator<std::uint64_t>, 4> t;
+    for (std::uint64_t i = 0; i < 3000; ++i) ASSERT_TRUE(t.insert(i));
+    for (std::uint64_t i = 0; i < 3000; ++i) ASSERT_FALSE(t.insert(i));
+    EXPECT_EQ(t.size(), 3000u);
+    dtree::baselines::classic_btree<std::uint64_t, dtree::ThreeWayComparator<std::uint64_t>, 4> r;
+    for (std::uint64_t i = 3000; i-- > 0;) ASSERT_TRUE(r.insert(i));
+    EXPECT_EQ(r.size(), 3000u);
+    std::uint64_t expect = 0;
+    r.for_each([&](std::uint64_t k) { EXPECT_EQ(k, expect++); });
+}
+
+TEST(ClassicBTree, RangeVisitsExactlyTheRange) {
+    dtree::baselines::classic_btree<std::uint64_t> t;
+    for (std::uint64_t i = 0; i < 1000; i += 2) t.insert(i);
+    std::vector<std::uint64_t> seen;
+    t.for_each_in_range(100, 200, [&](std::uint64_t k) { seen.push_back(k); });
+    ASSERT_EQ(seen.size(), 51u);
+    EXPECT_EQ(seen.front(), 100u);
+    EXPECT_EQ(seen.back(), 200u);
+    EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    // Range with odd (absent) endpoints.
+    seen.clear();
+    t.for_each_in_range(101, 199, [&](std::uint64_t k) { seen.push_back(k); });
+    ASSERT_EQ(seen.size(), 49u);
+    EXPECT_EQ(seen.front(), 102u);
+    EXPECT_EQ(seen.back(), 198u);
+}
+
+TEST(ClassicBTree, TupleKeys) {
+    dtree::baselines::classic_btree<Tuple<2>> t;
+    for (std::uint64_t a = 0; a < 50; ++a) {
+        for (std::uint64_t b = 0; b < 50; ++b) ASSERT_TRUE(t.insert(Tuple<2>{a, b}));
+    }
+    EXPECT_EQ(t.size(), 2500u);
+    std::size_t count = 0;
+    t.for_each_in_range(Tuple<2>{7, 0}, Tuple<2>{7, ~0ull},
+                        [&](const Tuple<2>&) { ++count; });
+    EXPECT_EQ(count, 50u);
+}
+
+TEST(ClassicBTree, MoveSemantics) {
+    dtree::baselines::classic_btree<std::uint64_t> a;
+    for (std::uint64_t i = 0; i < 100; ++i) a.insert(i);
+    auto b = std::move(a);
+    EXPECT_EQ(b.size(), 100u);
+    EXPECT_TRUE(a.empty()); // NOLINT(bugprone-use-after-move)
+    a = std::move(b);
+    EXPECT_EQ(a.size(), 100u);
+}
+
+// -- concurrent_hashset (TBB stand-in) ----------------------------------------
+
+TEST(ConcurrentHashSet, SequentialSetSemantics) {
+    dtree::baselines::concurrent_hashset<std::uint64_t> s;
+    std::set<std::uint64_t> ref;
+    dtree::util::Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+        auto v = dtree::util::uniform_int<std::uint64_t>(rng, 0, 25000);
+        EXPECT_EQ(s.insert(v), ref.insert(v).second);
+    }
+    EXPECT_EQ(s.size(), ref.size());
+    for (auto v : ref) EXPECT_TRUE(s.contains(v));
+    std::vector<std::uint64_t> seen;
+    s.for_each([&](std::uint64_t k) { seen.push_back(k); });
+    std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::equal(seen.begin(), seen.end(), ref.begin(), ref.end()));
+}
+
+TEST(ConcurrentHashSet, ParallelInsertExactlyOnce) {
+    dtree::baselines::concurrent_hashset<std::uint64_t> s;
+    constexpr std::size_t kN = 50000;
+    std::atomic<std::size_t> wins{0};
+    run_threads(8, [&](unsigned) {
+        std::size_t mine = 0;
+        for (std::size_t i = 0; i < kN; ++i) {
+            if (s.insert(i)) ++mine;
+        }
+        wins.fetch_add(mine);
+    });
+    EXPECT_EQ(wins.load(), kN);
+    EXPECT_EQ(s.size(), kN);
+    for (std::size_t i = 0; i < kN; ++i) ASSERT_TRUE(s.contains(i));
+}
+
+TEST(ConcurrentHashSet, TupleKeysAndClear) {
+    dtree::baselines::concurrent_hashset<Tuple<2>> s;
+    for (std::uint64_t i = 0; i < 1000; ++i) s.insert(Tuple<2>{i, i + 1});
+    EXPECT_EQ(s.size(), 1000u);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.contains(Tuple<2>{1, 2}));
+    EXPECT_TRUE(s.insert(Tuple<2>{1, 2}));
+}
+
+// -- global_lock_set ------------------------------------------------------------
+
+TEST(GlobalLockSet, ParallelInsertsAreSafe) {
+    dtree::baselines::global_lock_set<dtree::baselines::classic_btree<std::uint64_t>> s;
+    constexpr std::size_t kN = 20000;
+    run_threads(8, [&](unsigned tid) {
+        for (std::size_t i = tid; i < kN; i += 8) ASSERT_TRUE(s.insert(i));
+    });
+    EXPECT_EQ(s.size(), kN);
+    std::size_t count = 0;
+    s.for_each([&](std::uint64_t) { ++count; });
+    EXPECT_EQ(count, kN);
+}
+
+// -- reduction_set ----------------------------------------------------------------
+
+TEST(ReductionSet, ParallelPrivateInsertThenReduce) {
+    for (unsigned threads : {1u, 2u, 3u, 4u, 8u}) {
+        dtree::baselines::reduction_set<dtree::baselines::classic_btree<std::uint64_t>> s(threads);
+        constexpr std::size_t kN = 10000;
+        run_threads(threads, [&](unsigned tid) {
+            for (std::size_t i = tid; i < kN; i += threads) s.insert(tid, i);
+        });
+        auto& merged = s.reduce();
+        EXPECT_EQ(merged.size(), kN) << "threads=" << threads;
+        for (std::size_t i = 0; i < kN; i += 97) EXPECT_TRUE(merged.contains(i));
+    }
+}
+
+TEST(ReductionSet, OverlappingPartitionsDeduplicate) {
+    dtree::baselines::reduction_set<dtree::baselines::classic_btree<std::uint64_t>> s(4);
+    run_threads(4, [&](unsigned tid) {
+        for (std::size_t i = 0; i < 5000; ++i) s.insert(tid, i); // same range
+    });
+    EXPECT_EQ(s.reduce().size(), 5000u);
+}
+
+// -- adapter-level conformance: every adapter is a correct set -------------------
+
+template <typename T>
+class AdapterConformance : public ::testing::Test {
+protected:
+    static T make() {
+        if constexpr (std::is_constructible_v<T, unsigned>) {
+            return T(1);
+        } else {
+            return T{};
+        }
+    }
+};
+
+using AllAdapters = ::testing::Types<
+    dtree::baselines::StlSetAdapter<Tuple<2>>,
+    dtree::baselines::StlHashSetAdapter<Tuple<2>>,
+    dtree::baselines::ClassicBTreeAdapter<Tuple<2>>,
+    dtree::baselines::OurBTreeAdapter<Tuple<2>>,
+    dtree::baselines::OurBTreeNoHintsAdapter<Tuple<2>>,
+    dtree::baselines::SeqBTreeAdapter<Tuple<2>>,
+    dtree::baselines::SeqBTreeNoHintsAdapter<Tuple<2>>,
+    dtree::baselines::TbbLikeHashSetAdapter<Tuple<2>>,
+    dtree::baselines::GlobalLockBTreeAdapter<Tuple<2>>,
+    dtree::baselines::ReductionBTreeAdapter<Tuple<2>>>;
+
+TYPED_TEST_SUITE(AdapterConformance, AllAdapters);
+
+TYPED_TEST(AdapterConformance, InsertContainsScan) {
+    auto a = this->make();
+    std::set<Tuple<2>> ref;
+    dtree::util::Rng rng(17);
+    for (int i = 0; i < 5000; ++i) {
+        Tuple<2> k{dtree::util::uniform_int<std::uint64_t>(rng, 0, 70),
+                   dtree::util::uniform_int<std::uint64_t>(rng, 0, 70)};
+        EXPECT_EQ(a.insert(k), ref.insert(k).second);
+    }
+    a.finalize(1);
+    EXPECT_EQ(a.size(), ref.size());
+    for (const auto& k : ref) EXPECT_TRUE(a.contains(k));
+    std::vector<Tuple<2>> seen;
+    a.for_each([&](const Tuple<2>& k) { seen.push_back(k); });
+    if constexpr (!TypeParam::ordered) std::sort(seen.begin(), seen.end());
+    EXPECT_TRUE(std::equal(seen.begin(), seen.end(), ref.begin(), ref.end()));
+    if constexpr (TypeParam::ordered) {
+        EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    }
+    a.clear();
+    EXPECT_EQ(a.size(), 0u);
+}
+
+TYPED_TEST(AdapterConformance, LocalHandleInserts) {
+    auto a = this->make();
+    auto local = a.make_local(0);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        EXPECT_TRUE(local.insert(Tuple<2>{i, i}));
+        EXPECT_FALSE(local.insert(Tuple<2>{i, i}));
+    }
+    a.finalize(1);
+    EXPECT_EQ(a.size(), 1000u);
+}
+
+TYPED_TEST(AdapterConformance, RangeQueriesWhereOrdered) {
+    if constexpr (TypeParam::ordered) {
+        auto a = this->make();
+        for (std::uint64_t x = 0; x < 40; ++x) {
+            for (std::uint64_t y = 0; y < 40; ++y) a.insert(Tuple<2>{x, y});
+        }
+        a.finalize(1);
+        if constexpr (requires(TypeParam& t) {
+                          t.for_each_in_range(Tuple<2>{}, Tuple<2>{}, [](const Tuple<2>&) {});
+                      }) {
+            std::size_t count = 0;
+            a.for_each_in_range(Tuple<2>{5, 0}, Tuple<2>{5, ~0ull},
+                                [&](const Tuple<2>&) { ++count; });
+            EXPECT_EQ(count, 40u);
+        }
+    }
+}
+
+} // namespace

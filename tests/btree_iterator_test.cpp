@@ -1,0 +1,150 @@
+// Iterator semantics: the in-order walk over a classic B-tree (keys in
+// inner nodes!) must behave like a standard forward iterator across every
+// tree shape splits can produce.
+
+#include "core/btree.h"
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <vector>
+
+namespace {
+
+using Tree = dtree::btree_set<std::uint64_t, dtree::ThreeWayComparator<std::uint64_t>, 4>;
+
+TEST(Iterator, EmptyTreeBeginEqualsEnd) {
+    Tree t;
+    EXPECT_EQ(t.begin(), t.end());
+}
+
+TEST(Iterator, SingleElement) {
+    Tree t;
+    t.insert(42);
+    auto it = t.begin();
+    ASSERT_NE(it, t.end());
+    EXPECT_EQ(*it, 42u);
+    ++it;
+    EXPECT_EQ(it, t.end());
+}
+
+TEST(Iterator, PostIncrementReturnsOldPosition) {
+    Tree t;
+    t.insert(1);
+    t.insert(2);
+    auto it = t.begin();
+    auto old = it++;
+    EXPECT_EQ(*old, 1u);
+    EXPECT_EQ(*it, 2u);
+}
+
+TEST(Iterator, ArrowOperator) {
+    dtree::btree_set<dtree::Tuple<2>> t;
+    t.insert(dtree::Tuple<2>{3, 4});
+    EXPECT_EQ(t.begin()->values[1], 4u);
+}
+
+TEST(Iterator, VisitsEveryShapeInOrder) {
+    // Sweep sizes that produce every leaf/inner boundary shape for B=4.
+    for (std::size_t n = 0; n <= 200; ++n) {
+        Tree t;
+        for (std::uint64_t i = 0; i < n; ++i) t.insert(i);
+        std::uint64_t expect = 0;
+        for (auto v : t) {
+            ASSERT_EQ(v, expect) << "n=" << n;
+            ++expect;
+        }
+        ASSERT_EQ(expect, n);
+    }
+}
+
+TEST(Iterator, ReverseInsertionSameIteration) {
+    for (std::size_t n : {1ul, 5ul, 17ul, 64ul, 333ul}) {
+        Tree t;
+        for (std::uint64_t i = n; i-- > 0;) t.insert(i);
+        std::vector<std::uint64_t> seen(t.begin(), t.end());
+        ASSERT_EQ(seen.size(), n);
+        EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+    }
+}
+
+TEST(Iterator, StdDistanceAndAlgorithms) {
+    Tree t;
+    for (std::uint64_t i = 0; i < 500; ++i) t.insert(i * 2);
+    EXPECT_EQ(std::distance(t.begin(), t.end()), 500);
+    EXPECT_TRUE(std::all_of(t.begin(), t.end(), [](std::uint64_t v) { return v % 2 == 0; }));
+    auto it = std::find(t.begin(), t.end(), 200u);
+    ASSERT_NE(it, t.end());
+    EXPECT_EQ(*it, 200u);
+    EXPECT_EQ(std::count_if(t.begin(), t.end(), [](std::uint64_t v) { return v < 100; }), 50);
+}
+
+TEST(Iterator, BoundIteratorsSpanCorrectRange) {
+    Tree t;
+    dtree::util::Rng rng(6);
+    std::set<std::uint64_t> ref;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = dtree::util::uniform_int<std::uint64_t>(rng, 0, 3000);
+        t.insert(v);
+        ref.insert(v);
+    }
+    for (std::uint64_t lo = 0; lo < 3000; lo += 97) {
+        const std::uint64_t hi = lo + 211;
+        std::vector<std::uint64_t> got;
+        for (auto it = t.lower_bound(lo), e = t.upper_bound(hi); it != e; ++it) {
+            got.push_back(*it);
+        }
+        std::vector<std::uint64_t> expect(ref.lower_bound(lo), ref.upper_bound(hi));
+        EXPECT_EQ(got, expect) << "range [" << lo << "," << hi << "]";
+    }
+}
+
+TEST(Iterator, LowerBoundAtInnerSeparatorIterates) {
+    // Force a lower_bound result that points at an INNER node key, then
+    // iterate across the descend-climb transitions.
+    Tree t;
+    for (std::uint64_t i = 0; i < 100; ++i) t.insert(i);
+    for (std::uint64_t k = 0; k < 100; ++k) {
+        auto it = t.lower_bound(k);
+        ASSERT_NE(it, t.end());
+        EXPECT_EQ(*it, k);
+        std::uint64_t expect = k;
+        for (; it != t.end(); ++it) {
+            ASSERT_EQ(*it, expect);
+            ++expect;
+        }
+        EXPECT_EQ(expect, 100u);
+    }
+}
+
+TEST(Iterator, EqualityAcrossCopies) {
+    Tree t;
+    for (std::uint64_t i = 0; i < 50; ++i) t.insert(i);
+    auto a = t.begin();
+    auto b = t.begin();
+    EXPECT_EQ(a, b);
+    ++a;
+    EXPECT_NE(a, b);
+    ++b;
+    EXPECT_EQ(a, b);
+    Tree::const_iterator default_a, default_b;
+    EXPECT_EQ(default_a, default_b);
+    EXPECT_EQ(default_a, t.end());
+}
+
+TEST(Iterator, WorksOnWideNodes) {
+    dtree::btree_set<std::uint64_t> wide; // default block size (64 for u64)
+    dtree::util::Rng rng(8);
+    std::set<std::uint64_t> ref;
+    for (int i = 0; i < 20000; ++i) {
+        auto v = dtree::util::uniform_int<std::uint64_t>(rng, 0, 1u << 24);
+        wide.insert(v);
+        ref.insert(v);
+    }
+    EXPECT_TRUE(std::equal(wide.begin(), wide.end(), ref.begin(), ref.end()));
+}
+
+} // namespace

@@ -1,0 +1,101 @@
+// Tests for fact-file I/O (datalog/io.h): Soufflé-convention TSV parsing,
+// error reporting, and round-tripping through the CLI-facing helpers.
+
+#include "datalog/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+using namespace dtree::datalog;
+
+class IoTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("dtree_io_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string write(const std::string& name, const std::string& content) {
+        const auto path = (dir_ / name).string();
+        std::ofstream out(path);
+        out << content;
+        return path;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(IoTest, ReadsTabSeparatedFacts) {
+    const auto path = write("edge.facts", "1\t2\n3\t4\n");
+    const auto facts = read_fact_file(path, 2);
+    ASSERT_EQ(facts.size(), 2u);
+    EXPECT_EQ(facts[0][0], 1u);
+    EXPECT_EQ(facts[0][1], 2u);
+    EXPECT_EQ(facts[1][0], 3u);
+    EXPECT_EQ(facts[1][1], 4u);
+}
+
+TEST_F(IoTest, ReadsCommaSeparatedAndComments) {
+    const auto path = write("r.facts", "# header comment\n10,20,30\n\n40,50,60\n");
+    const auto facts = read_fact_file(path, 3);
+    ASSERT_EQ(facts.size(), 2u);
+    EXPECT_EQ(facts[1][2], 60u);
+}
+
+TEST_F(IoTest, HandlesWindowsLineEndings) {
+    const auto path = write("r.facts", "7\t8\r\n9\t10\r\n");
+    const auto facts = read_fact_file(path, 2);
+    ASSERT_EQ(facts.size(), 2u);
+    EXPECT_EQ(facts[1][1], 10u);
+}
+
+TEST_F(IoTest, UnaryFacts) {
+    const auto path = write("n.facts", "5\n6\n7\n");
+    const auto facts = read_fact_file(path, 1);
+    ASSERT_EQ(facts.size(), 3u);
+    EXPECT_EQ(facts[2][0], 7u);
+}
+
+TEST_F(IoTest, RejectsMalformedLines) {
+    EXPECT_THROW(read_fact_file(write("a.facts", "1\tx\n"), 2), std::runtime_error);
+    EXPECT_THROW(read_fact_file(write("b.facts", "1\n"), 2), std::runtime_error);
+    EXPECT_THROW(read_fact_file(write("c.facts", "1\t2\t3\n"), 2), std::runtime_error);
+    EXPECT_THROW(read_fact_file(dir_ / "missing.facts", 2), std::runtime_error);
+}
+
+TEST_F(IoTest, ErrorsCarryFileAndLine) {
+    const auto path = write("bad.facts", "1\t2\nbroken\n");
+    try {
+        read_fact_file(path, 2);
+        FAIL() << "expected exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos) << e.what();
+    }
+}
+
+TEST_F(IoTest, WriteThenReadRoundTrips) {
+    std::vector<StorageTuple> tuples;
+    for (Value i = 0; i < 100; ++i) tuples.push_back(StorageTuple{i, i * 2, i * 3});
+    const auto path = (dir_ / "out.csv").string();
+    write_fact_file(path, 3, tuples);
+    const auto back = read_fact_file(path, 3);
+    ASSERT_EQ(back.size(), tuples.size());
+    for (std::size_t i = 0; i < tuples.size(); ++i) {
+        EXPECT_EQ(back[i], tuples[i]);
+    }
+}
+
+TEST_F(IoTest, ReadTextFile) {
+    const auto path = write("prog.dl", ".decl a(x:number)\n");
+    EXPECT_EQ(read_text_file(path), ".decl a(x:number)\n");
+    EXPECT_THROW(read_text_file(dir_ / "nope.dl"), std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,225 @@
+// Tests for symbol (string) support: the concurrent symbol table, typed
+// declarations, string literals in programs, type checking, and typed fact
+// file I/O.
+
+#include "datalog/io.h"
+#include "datalog/parser.h"
+#include "datalog/program.h"
+#include "datalog/symbol_table.h"
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+namespace {
+
+using namespace dtree::datalog;
+
+// -- SymbolTable -------------------------------------------------------------
+
+TEST(SymbolTable, InternIsIdempotent) {
+    SymbolTable t;
+    const Value a = t.intern("alpha");
+    const Value b = t.intern("beta");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(t.intern("alpha"), a);
+    EXPECT_EQ(t.name(a), "alpha");
+    EXPECT_EQ(t.name(b), "beta");
+    EXPECT_EQ(t.size(), 2u);
+    EXPECT_TRUE(t.contains("alpha"));
+    EXPECT_FALSE(t.contains("gamma"));
+    EXPECT_EQ(t.id("beta"), b);
+    EXPECT_THROW(t.id("gamma"), std::out_of_range);
+    EXPECT_THROW(t.name(99), std::out_of_range);
+}
+
+TEST(SymbolTable, ConcurrentInterningIsConsistent) {
+    SymbolTable t;
+    constexpr unsigned kThreads = 8;
+    std::vector<std::vector<Value>> ids(kThreads);
+    dtree::util::run_threads(kThreads, [&](unsigned tid) {
+        for (int i = 0; i < 2000; ++i) {
+            ids[tid].push_back(t.intern("sym" + std::to_string(i % 500)));
+        }
+    });
+    EXPECT_EQ(t.size(), 500u);
+    // Every thread got the same id for the same string.
+    for (unsigned tid = 1; tid < kThreads; ++tid) {
+        EXPECT_EQ(ids[tid], ids[0]);
+    }
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(t.name(t.id("sym" + std::to_string(i))), "sym" + std::to_string(i));
+    }
+}
+
+// -- typed programs -------------------------------------------------------------
+
+TEST(Symbols, StringLiteralsEvaluate) {
+    DefaultEngine engine(compile(R"(
+.decl likes(who:symbol, what:symbol)
+.decl fruit_fan(who:symbol) output
+likes("alice", "apples").
+likes("bob", "opera").
+likes("carol", "apples").
+fruit_fan(p) :- likes(p, "apples").
+)"));
+    engine.run(1);
+    const auto got = engine.tuples("fruit_fan");
+    ASSERT_EQ(got.size(), 2u);
+    std::set<std::string> names;
+    for (const auto& t : got) names.insert(engine.symbols().name(t[0]));
+    EXPECT_TRUE(names.count("alice"));
+    EXPECT_TRUE(names.count("carol"));
+}
+
+TEST(Symbols, MixedColumnsJoinCorrectly) {
+    DefaultEngine engine(compile(R"(
+.decl owns(who:symbol, item:number)
+.decl expensive(item:number)
+.decl rich(who:symbol) output
+owns("dana", 1). owns("erik", 2).
+expensive(2).
+rich(p) :- owns(p, i), expensive(i).
+)"));
+    engine.run(1);
+    const auto got = engine.tuples("rich");
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(engine.symbols().name(got[0][0]), "erik");
+}
+
+TEST(Symbols, EqualityConstraintsOnSymbols) {
+    DefaultEngine engine(compile(R"(
+.decl e(a:symbol, b:symbol)
+.decl same(a:symbol) output
+.decl diff(a:symbol) output
+e("x", "x"). e("y", "z").
+same(a) :- e(a, b), a = b.
+diff(a) :- e(a, b), a != b.
+)"));
+    engine.run(1);
+    ASSERT_EQ(engine.tuples("same").size(), 1u);
+    ASSERT_EQ(engine.tuples("diff").size(), 1u);
+    EXPECT_EQ(engine.symbols().name(engine.tuples("same")[0][0]), "x");
+    EXPECT_EQ(engine.symbols().name(engine.tuples("diff")[0][0]), "y");
+}
+
+TEST(Symbols, EscapesInLiterals) {
+    auto prog = parse(R"(
+.decl m(s:symbol)
+m("line\nbreak").
+m("tab\there").
+m("quote\"inside").
+)");
+    ASSERT_EQ(prog.rules.size(), 3u);
+    EXPECT_EQ(prog.rules[0].head.args[0].var, "line\nbreak");
+    EXPECT_EQ(prog.rules[2].head.args[0].var, "quote\"inside");
+}
+
+// -- type checking ---------------------------------------------------------------
+
+TEST(SymbolTypes, RejectsStringInNumberColumn) {
+    EXPECT_THROW(compile(".decl e(x:number)\ne(\"foo\")."), std::runtime_error);
+}
+
+TEST(SymbolTypes, RejectsNumberInSymbolColumn) {
+    EXPECT_THROW(compile(".decl e(x:symbol)\ne(42)."), std::runtime_error);
+}
+
+TEST(SymbolTypes, RejectsMixedTypeVariable) {
+    EXPECT_THROW(compile(R"(
+.decl n(x:number)
+.decl s(x:symbol)
+.decl out(x:number)
+out(x) :- n(x), s(x).
+)"),
+                 std::runtime_error);
+}
+
+TEST(SymbolTypes, RejectsOrderingComparisonOnSymbols) {
+    EXPECT_THROW(compile(R"(
+.decl s(x:symbol, y:symbol)
+.decl out(x:symbol)
+out(x) :- s(x, y), x < y.
+)"),
+                 std::runtime_error);
+    // = and != are fine.
+    EXPECT_NO_THROW(compile(R"(
+.decl s(x:symbol, y:symbol)
+.decl out(x:symbol)
+out(x) :- s(x, y), x != y.
+)"));
+}
+
+TEST(SymbolTypes, RejectsUnknownTypeName) {
+    EXPECT_THROW(compile(".decl e(x:float)"), std::runtime_error);
+}
+
+// -- typed fact I/O ----------------------------------------------------------------
+
+class SymbolIoTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("dtree_sym_io_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string write(const std::string& name, const std::string& content) {
+        const auto path = (dir_ / name).string();
+        std::ofstream out(path);
+        out << content;
+        return path;
+    }
+
+    std::filesystem::path dir_;
+};
+
+TEST_F(SymbolIoTest, ReadsSymbolColumns) {
+    SymbolTable syms;
+    const auto path = write("r.facts", "alice\t3\nbob\t5\n");
+    const auto facts =
+        read_fact_file(path, {AttrType::Symbol, AttrType::Number}, syms);
+    ASSERT_EQ(facts.size(), 2u);
+    EXPECT_EQ(syms.name(facts[0][0]), "alice");
+    EXPECT_EQ(facts[0][1], 3u);
+    EXPECT_EQ(syms.name(facts[1][0]), "bob");
+    EXPECT_EQ(facts[1][1], 5u);
+}
+
+TEST_F(SymbolIoTest, SymbolsMayContainSpacesAndDigits) {
+    SymbolTable syms;
+    const auto path = write("r.facts", "hello world 42\t1\n");
+    const auto facts =
+        read_fact_file(path, {AttrType::Symbol, AttrType::Number}, syms);
+    ASSERT_EQ(facts.size(), 1u);
+    EXPECT_EQ(syms.name(facts[0][0]), "hello world 42");
+}
+
+TEST_F(SymbolIoTest, TypedRoundTrip) {
+    SymbolTable syms;
+    std::vector<StorageTuple> tuples{
+        StorageTuple{syms.intern("web-1"), 8080},
+        StorageTuple{syms.intern("db-primary"), 5432},
+    };
+    const std::vector<AttrType> types{AttrType::Symbol, AttrType::Number};
+    const auto path = (dir_ / "out.csv").string();
+    write_fact_file(path, types, tuples, syms);
+    SymbolTable syms2;
+    const auto back = read_fact_file(path, types, syms2);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(syms2.name(back[0][0]), "web-1");
+    EXPECT_EQ(back[1][1], 5432u);
+}
+
+TEST_F(SymbolIoTest, NumberColumnStillValidated) {
+    SymbolTable syms;
+    const auto path = write("bad.facts", "alice\tnotanumber\n");
+    EXPECT_THROW(read_fact_file(path, {AttrType::Symbol, AttrType::Number}, syms),
+                 std::runtime_error);
+}
+
+} // namespace

@@ -1,0 +1,231 @@
+// Tests for eqrel, the equivalence-relation structure (union-find based):
+// algebraic properties (reflexive/symmetric/transitive), differential
+// testing against a reference DSU, concurrency, and the O(n)-vs-O(c²)
+// storage claim.
+
+#include "core/eqrel.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace {
+
+using dtree::eqrel;
+using dtree::RamDomain;
+using dtree::Tuple;
+
+/// Reference: naive DSU over a map.
+class RefDsu {
+public:
+    void unite(RamDomain a, RamDomain b) {
+        const RamDomain ra = find(a), rb = find(b);
+        if (ra != rb) parent_[std::max(ra, rb)] = std::min(ra, rb);
+    }
+    bool same(RamDomain a, RamDomain b) {
+        if (a == b) return true;
+        if (!parent_.count(a) || !parent_.count(b)) return false;
+        return find(a) == find(b);
+    }
+    RamDomain find(RamDomain x) {
+        parent_.try_emplace(x, x);
+        while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+        return x;
+    }
+
+private:
+    std::map<RamDomain, RamDomain> parent_;
+};
+
+TEST(EqRel, EmptyRelation) {
+    eqrel r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.element_count(), 0u);
+    EXPECT_TRUE(r.contains(5, 5)) << "reflexivity holds even for unknown elements";
+    EXPECT_FALSE(r.contains(5, 6));
+    EXPECT_EQ(r.representative(9), 9u);
+}
+
+TEST(EqRel, BasicUnionAndAlgebraicClosure) {
+    eqrel r;
+    EXPECT_TRUE(r.insert(1, 2));
+    EXPECT_FALSE(r.insert(1, 2)) << "re-asserting the same pair changes nothing";
+    EXPECT_FALSE(r.insert(2, 1)) << "symmetry";
+    EXPECT_TRUE(r.insert(2, 3));
+    // Transitivity.
+    EXPECT_TRUE(r.contains(1, 3));
+    EXPECT_TRUE(r.contains(3, 1));
+    EXPECT_TRUE(r.contains(3, 3));
+    EXPECT_FALSE(r.contains(1, 4));
+    // One class of 3 elements = 9 pairs.
+    EXPECT_EQ(r.size(), 9u);
+    EXPECT_EQ(r.element_count(), 3u);
+}
+
+TEST(EqRel, SelfInsertCreatesSingleton) {
+    eqrel r;
+    EXPECT_FALSE(r.insert(7, 7)) << "a ~ a never merges classes";
+    EXPECT_EQ(r.element_count(), 1u);
+    EXPECT_EQ(r.size(), 1u); // the reflexive pair
+    EXPECT_TRUE(r.contains(7, 7));
+}
+
+TEST(EqRel, RepresentativeIsEarliestInterned) {
+    eqrel r;
+    r.insert(50, 20);
+    r.insert(20, 90);
+    // 50 was interned first -> canonical.
+    EXPECT_EQ(r.representative(90), 50u);
+    EXPECT_EQ(r.representative(20), 50u);
+    EXPECT_EQ(r.representative(50), 50u);
+}
+
+TEST(EqRel, ClassesPartitionTheDomain) {
+    eqrel r;
+    r.insert(1, 2);
+    r.insert(3, 4);
+    r.insert(5, 5);
+    r.insert(2, 10);
+    const auto classes = r.classes();
+    ASSERT_EQ(classes.size(), 3u);
+    std::size_t total = 0;
+    std::set<RamDomain> seen;
+    for (const auto& cls : classes) {
+        total += cls.size();
+        seen.insert(cls.begin(), cls.end());
+    }
+    EXPECT_EQ(total, 6u);
+    EXPECT_EQ(seen.size(), 6u) << "classes are disjoint";
+}
+
+TEST(EqRel, ForEachEnumeratesExactlyTheClosure) {
+    eqrel r;
+    r.insert(1, 2);
+    r.insert(2, 3);
+    r.insert(10, 11);
+    std::set<std::pair<RamDomain, RamDomain>> pairs;
+    r.for_each([&](const Tuple<2>& t) { pairs.emplace(t[0], t[1]); });
+    EXPECT_EQ(pairs.size(), 9u + 4u);
+    EXPECT_EQ(pairs.size(), r.size());
+    for (const auto& [a, b] : pairs) {
+        EXPECT_TRUE(r.contains(a, b));
+        EXPECT_TRUE(pairs.count({b, a})) << "enumeration is symmetric";
+    }
+}
+
+TEST(EqRel, DifferentialAgainstReferenceDsu) {
+    dtree::util::Rng rng(17);
+    eqrel r;
+    RefDsu ref;
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = dtree::util::uniform_int<RamDomain>(rng, 0, 300);
+        const auto b = dtree::util::uniform_int<RamDomain>(rng, 0, 300);
+        r.insert(a, b);
+        ref.unite(a, b);
+    }
+    for (RamDomain a = 0; a <= 300; a += 3) {
+        for (RamDomain b = 0; b <= 300; b += 7) {
+            EXPECT_EQ(r.contains(a, b), ref.same(a, b)) << a << "~" << b;
+        }
+    }
+}
+
+TEST(EqRel, LongChainCollapsesToOneClass) {
+    eqrel r;
+    for (RamDomain i = 0; i + 1 < 10000; ++i) r.insert(i, i + 1);
+    EXPECT_TRUE(r.contains(0, 9999));
+    EXPECT_EQ(r.classes().size(), 1u);
+    EXPECT_EQ(r.element_count(), 10000u);
+    EXPECT_EQ(r.size(), 10000u * 10000u);
+    EXPECT_EQ(r.representative(9999), 0u);
+}
+
+TEST(EqRel, StorageIsLinearNotQuadratic) {
+    // The point of eqrel vs a pair B-tree: 10k-element class = 10^8 pairs,
+    // but only 10^4 interned elements.
+    eqrel r;
+    for (RamDomain i = 0; i + 1 < 10000; ++i) r.insert(0, i + 1);
+    EXPECT_EQ(r.element_count(), 10000u);
+    EXPECT_EQ(r.size(), 100'000'000u);
+}
+
+TEST(EqRel, ClearResets) {
+    eqrel r;
+    r.insert(1, 2);
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    EXPECT_FALSE(r.contains(1, 2));
+    EXPECT_TRUE(r.insert(1, 2));
+}
+
+// -- concurrency -------------------------------------------------------------------
+
+TEST(EqRelConcurrent, ParallelChainMergesCompletely) {
+    for (unsigned threads : {2u, 4u, 8u}) {
+        eqrel r;
+        constexpr std::size_t kN = 50000;
+        dtree::util::run_threads(threads, [&](unsigned tid) {
+            for (std::size_t i = tid; i + 1 < kN; i += threads) {
+                r.insert(static_cast<RamDomain>(i), static_cast<RamDomain>(i + 1));
+            }
+        });
+        EXPECT_EQ(r.element_count(), kN) << "threads=" << threads;
+        EXPECT_EQ(r.classes().size(), 1u) << "threads=" << threads;
+        EXPECT_TRUE(r.contains(0, kN - 1));
+    }
+}
+
+TEST(EqRelConcurrent, MergeCountIsExact) {
+    // n elements, random unions from all threads: total successful merges
+    // must equal n - (#final classes), regardless of interleaving.
+    eqrel r;
+    constexpr RamDomain kN = 20000;
+    for (RamDomain i = 0; i < kN; ++i) r.insert(i, i); // intern singletons
+    std::atomic<std::size_t> merges{0};
+    dtree::util::run_threads(8, [&](unsigned tid) {
+        dtree::util::Rng rng(tid + 1);
+        std::size_t mine = 0;
+        for (int i = 0; i < 30000; ++i) {
+            const auto a = dtree::util::uniform_int<RamDomain>(rng, 0, kN - 1);
+            const auto b = dtree::util::uniform_int<RamDomain>(rng, 0, kN - 1);
+            if (r.insert(a, b)) ++mine;
+        }
+        merges.fetch_add(mine);
+    });
+    EXPECT_EQ(merges.load() + r.classes().size(), kN);
+}
+
+TEST(EqRelConcurrent, ParallelDisjointGroupsStayDisjoint) {
+    eqrel r;
+    constexpr unsigned kThreads = 8;
+    constexpr RamDomain kPerGroup = 5000;
+    dtree::util::run_threads(kThreads, [&](unsigned tid) {
+        const RamDomain base = tid * kPerGroup;
+        for (RamDomain i = 0; i + 1 < kPerGroup; ++i) {
+            r.insert(base + i, base + i + 1);
+        }
+    });
+    EXPECT_EQ(r.classes().size(), kThreads);
+    EXPECT_TRUE(r.contains(0, kPerGroup - 1));
+    EXPECT_FALSE(r.contains(0, kPerGroup));
+    EXPECT_FALSE(r.contains(kPerGroup - 1, kPerGroup));
+}
+
+TEST(EqRelConcurrent, PhaseConcurrentReadsAfterWrites) {
+    eqrel r;
+    for (RamDomain i = 0; i + 1 < 10000; i += 2) r.insert(i, i + 1);
+    dtree::util::parallel_blocks(10000, 8, [&](unsigned, std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) {
+            const RamDomain x = static_cast<RamDomain>(i);
+            ASSERT_EQ(r.contains(x, x ^ 1), true);
+            if (x >= 2) ASSERT_FALSE(r.contains(x, x - 2));
+        }
+    });
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+// Focused tests for the index selection machinery (simplified [29]): chain
+// cover minimality on crafted signature sets, permutation correctness, and
+// the evaluator actually using secondary indexes (observable via counters).
+
+#include "datalog/index_selection.h"
+#include "datalog/program.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace dtree::datalog;
+
+TEST(ChainCover, ThreeNestedSignaturesOneIndex) {
+    // t probed with {0}, {0,1}, {0,1,2}: all nested -> identity serves all.
+    auto prog = compile(R"(
+.decl t(a:number, b:number, c:number) input
+.decl s(x:number)
+.decl r1(x:number)
+.decl r2(x:number)
+.decl r3(x:number)
+r1(a) :- s(a), t(a,_,_).
+r2(b) :- s(a), s(b), t(a,b,_).
+r3(c) :- s(a), s(b), s(c), t(a,b,c).
+)");
+    const auto sel = select_indexes(prog);
+    EXPECT_EQ(sel.relation_indexes[prog.relation_id("t")].size(), 1u);
+}
+
+TEST(ChainCover, DisjointSignaturesNeedSeparateIndexes) {
+    // t probed with {0} and {1} and {2}: pairwise incomparable -> 3 chains,
+    // identity covers {0}, two extra indexes.
+    auto prog = compile(R"(
+.decl t(a:number, b:number, c:number) input
+.decl s(x:number)
+.decl r1(x:number)
+.decl r2(x:number)
+.decl r3(x:number)
+r1(a) :- s(a), t(a,_,_).
+r2(b) :- s(b), t(_,b,_).
+r3(c) :- s(c), t(_,_,c).
+)");
+    const auto sel = select_indexes(prog);
+    const auto& indexes = sel.relation_indexes[prog.relation_id("t")];
+    EXPECT_EQ(indexes.size(), 3u);
+    // Each signature must be served by some index.
+    bool col1 = false, col2 = false;
+    for (const auto& idx : indexes) {
+        if (idx.served_prefix(0b010) >= 0) col1 = true;
+        if (idx.served_prefix(0b100) >= 0) col2 = true;
+    }
+    EXPECT_TRUE(col1);
+    EXPECT_TRUE(col2);
+}
+
+TEST(ChainCover, OverlappingButChainableShareIndex) {
+    // Signatures {1} and {1,2}: one chain -> one extra index ordered (b,c,..).
+    auto prog = compile(R"(
+.decl t(a:number, b:number, c:number) input
+.decl s(x:number)
+.decl r1(x:number)
+.decl r2(x:number)
+r1(b) :- s(b), t(_,b,_).
+r2(c) :- s(b), s(c), t(_,b,c).
+)");
+    const auto sel = select_indexes(prog);
+    const auto& indexes = sel.relation_indexes[prog.relation_id("t")];
+    ASSERT_EQ(indexes.size(), 2u);
+    EXPECT_EQ(indexes[1].order[0], 1u);
+    EXPECT_EQ(indexes[1].order[1], 2u);
+    EXPECT_EQ(indexes[1].served_prefix(0b010), 1);
+    EXPECT_EQ(indexes[1].served_prefix(0b110), 2);
+}
+
+TEST(ChainCover, FullyBoundNeedsNoExtraIndex) {
+    auto prog = compile(R"(
+.decl t(a:number, b:number) input
+.decl s(x:number)
+.decl r(x:number)
+r(a) :- s(a), s(b), t(a,b).
+)");
+    const auto sel = select_indexes(prog);
+    EXPECT_EQ(sel.relation_indexes[prog.relation_id("t")].size(), 1u);
+    const auto& plan = sel.plan(0, 2);
+    EXPECT_FALSE(plan.full_scan);
+    EXPECT_EQ(plan.bound_prefix, 2u);
+}
+
+TEST(ChainCover, NegatedAtomsNeverCreateIndexes) {
+    auto prog = compile(R"(
+.decl t(a:number, b:number) input
+.decl s(x:number)
+.decl r(x:number)
+r(a) :- s(a), s(b), !t(b,a).
+)");
+    const auto sel = select_indexes(prog);
+    EXPECT_EQ(sel.relation_indexes[prog.relation_id("t")].size(), 1u);
+}
+
+// The engine must actually exercise a secondary index: probing e by its
+// second column with an ordered storage produces range queries (bounds
+// counters), not full scans.
+TEST(IndexUse, SecondaryIndexServesReversedJoin) {
+    auto prog = compile(R"(
+.decl e(x:number, y:number) input
+.decl start(x:number) input
+.decl pred(x:number) output
+pred(p) :- start(x), e(p,x).
+)");
+    Engine<storage::OurBTree> engine(prog);
+    std::vector<StorageTuple> edges;
+    for (Value i = 0; i < 1000; ++i) edges.push_back(StorageTuple{i, i % 10});
+    engine.add_facts("e", edges);
+    engine.add_facts("start", {StorageTuple{3}});
+    engine.run(1);
+    EXPECT_EQ(engine.relation("pred").size(), 100u);
+    const auto ops = engine.relation("e").counters();
+    EXPECT_GT(ops.lower_bound_calls, 0u) << "join must use a range query";
+    // Secondary index insertion doubles e's storage; verify it exists.
+    EXPECT_EQ(engine.relation("e").index_count(), 2u);
+}
+
+TEST(IndexUse, UnorderedStorageFallsBackToScans) {
+    auto prog = compile(R"(
+.decl e(x:number, y:number) input
+.decl start(x:number) input
+.decl pred(x:number) output
+pred(p) :- start(x), e(p,x).
+)");
+    Engine<storage::TbbHashSet> engine(prog);
+    std::vector<StorageTuple> edges;
+    for (Value i = 0; i < 200; ++i) edges.push_back(StorageTuple{i, i % 10});
+    engine.add_facts("e", edges);
+    engine.add_facts("start", {StorageTuple{3}});
+    engine.run(1);
+    EXPECT_EQ(engine.relation("pred").size(), 20u);
+    // Hash storage keeps only the primary index and cannot range-query.
+    EXPECT_EQ(engine.relation("e").index_count(), 1u);
+    EXPECT_EQ(engine.relation("e").counters().lower_bound_calls, 0u);
+}
+
+TEST(IndexOrderTest, PermutationRoundTripInsideRelation) {
+    // A relation with a secondary index must return tuples in SOURCE column
+    // order from scans over either index.
+    auto prog = compile(R"(
+.decl e(x:number, y:number) input
+.decl s(x:number)
+.decl out(x:number) output
+out(a) :- s(b), e(a,b).
+)");
+    Engine<storage::OurBTree> engine(prog);
+    engine.add_facts("e", {StorageTuple{10, 1}, StorageTuple{20, 2}});
+    engine.add_facts("s", {StorageTuple{2}});
+    engine.run(1);
+    const auto got = engine.tuples("out");
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0][0], 20u) << "un-permutation must restore source order";
+}
+
+} // namespace

@@ -1,0 +1,145 @@
+// Tests for the seqlock-safe data access layer (race_access.h) and the
+// arena node allocator (node_allocator.h).
+
+#include "core/btree.h"
+#include "core/race_access.h"
+#include "core/tuple.h"
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+namespace {
+
+using dtree::ConcurrentAccess;
+using dtree::SeqAccess;
+using dtree::Tuple;
+
+TEST(RaceAccess, ScalarRoundTrip) {
+    std::uint64_t x = 0;
+    ConcurrentAccess::store(x, std::uint64_t{42});
+    EXPECT_EQ(ConcurrentAccess::load(x), 42u);
+    SeqAccess::store(x, std::uint64_t{7});
+    EXPECT_EQ(SeqAccess::load(x), 7u);
+}
+
+TEST(RaceAccess, PointerRoundTrip) {
+    int target = 5;
+    int* p = nullptr;
+    ConcurrentAccess::store(p, &target);
+    EXPECT_EQ(ConcurrentAccess::load(p), &target);
+}
+
+TEST(RaceAccess, TupleElementwiseRoundTrip) {
+    Tuple<3> t{};
+    ConcurrentAccess::store(t, Tuple<3>{1, 2, 3});
+    const Tuple<3> got = ConcurrentAccess::load(t);
+    EXPECT_EQ(got, (Tuple<3>{1, 2, 3}));
+}
+
+TEST(RaceAccess, ConceptsClassifyKeys) {
+    static_assert(dtree::ScalarKey<std::uint64_t>);
+    static_assert(dtree::ScalarKey<int*>);
+    static_assert(!dtree::ScalarKey<Tuple<2>>);
+    static_assert(dtree::ElementwiseKey<Tuple<2>>);
+    static_assert(dtree::ElementwiseKey<Tuple<4>>);
+}
+
+TEST(RelaxedValue, ConcurrentAndPlainModes) {
+    dtree::relaxed_value<std::uint32_t, true> c(3);
+    EXPECT_EQ(c.load(), 3u);
+    c.store(9);
+    EXPECT_EQ(c.load(), 9u);
+
+    dtree::relaxed_value<std::uint32_t, false> p(3);
+    EXPECT_EQ(p.load(), 3u);
+    p.store(9);
+    EXPECT_EQ(p.load(), 9u);
+}
+
+// Concurrent stores/loads on the same tuple must never fault or produce
+// values never written per element (each element is either 0 or the writer's
+// value for that slot).
+TEST(RaceAccess, ConcurrentElementwiseAccessIsDefined) {
+    Tuple<4> shared{};
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        for (std::uint64_t i = 1; i <= 100000; ++i) {
+            ConcurrentAccess::store(shared, Tuple<4>{i, i, i, i});
+        }
+        stop.store(true);
+    });
+    std::uint64_t reads = 0;
+    while (!stop.load() || reads == 0) {
+        const Tuple<4> t = ConcurrentAccess::load(shared);
+        for (int c = 0; c < 4; ++c) {
+            ASSERT_LE(t[c], 100000u); // only written values appear
+        }
+        ++reads;
+    }
+    writer.join();
+    EXPECT_GT(reads, 0u);
+}
+
+// -- arena allocator -------------------------------------------------------------
+
+TEST(ArenaAllocator, TreeMatchesReference) {
+    dtree::arena_btree_set<std::uint64_t> t;
+    std::set<std::uint64_t> ref;
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+        const auto v = (i * 7919) % 60000;
+        EXPECT_EQ(t.insert(v), ref.insert(v).second);
+    }
+    EXPECT_EQ(t.size(), ref.size());
+    EXPECT_TRUE(std::equal(t.begin(), t.end(), ref.begin(), ref.end()));
+    EXPECT_EQ(t.check_invariants(), "");
+}
+
+TEST(ArenaAllocator, ClearReleasesAndTreeIsReusable) {
+    dtree::arena_btree_set<std::uint64_t> t;
+    for (std::uint64_t i = 0; i < 10000; ++i) t.insert(i);
+    t.clear();
+    EXPECT_TRUE(t.empty());
+    for (std::uint64_t i = 0; i < 10000; ++i) EXPECT_TRUE(t.insert(i));
+    EXPECT_EQ(t.size(), 10000u);
+    EXPECT_EQ(t.check_invariants(), "");
+}
+
+TEST(ArenaAllocator, MoveTransfersArenaOwnership) {
+    dtree::arena_btree_set<std::uint64_t> a;
+    for (std::uint64_t i = 0; i < 5000; ++i) a.insert(i);
+    dtree::arena_btree_set<std::uint64_t> b(std::move(a));
+    EXPECT_EQ(b.size(), 5000u);
+    EXPECT_TRUE(b.contains(4999));
+    EXPECT_EQ(b.check_invariants(), "");
+    // The moved-from tree is empty and must be usable without touching b's
+    // nodes.
+    EXPECT_TRUE(a.empty()); // NOLINT(bugprone-use-after-move)
+    a.insert(1);
+    EXPECT_EQ(a.size(), 1u);
+    EXPECT_EQ(b.size(), 5000u);
+}
+
+TEST(ArenaAllocator, ConcurrentInsertsAllocateSafely) {
+    dtree::arena_btree_set<std::uint64_t,
+                           dtree::ThreeWayComparator<std::uint64_t>, 4> t;
+    constexpr std::size_t kN = 40000;
+    dtree::util::run_threads(8, [&](unsigned tid) {
+        for (std::size_t i = tid; i < kN; i += 8) {
+            ASSERT_TRUE(t.insert(static_cast<std::uint64_t>(i)));
+        }
+    });
+    EXPECT_EQ(t.size(), kN);
+    EXPECT_EQ(t.check_invariants(), "");
+}
+
+TEST(ArenaAllocator, SequentialVariant) {
+    dtree::arena_seq_btree_set<Tuple<2>> t;
+    for (std::uint64_t i = 0; i < 10000; ++i) t.insert(Tuple<2>{i / 100, i % 100});
+    EXPECT_EQ(t.size(), 10000u);
+    EXPECT_EQ(t.check_invariants(), "");
+}
+
+} // namespace

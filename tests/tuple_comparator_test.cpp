@@ -1,0 +1,121 @@
+// Unit tests for the tuple type and 3-way comparators (§2 ordering
+// requirements, §3 implementation note 2).
+
+#include "core/comparator.h"
+#include "core/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace {
+
+using dtree::LessToThreeWay;
+using dtree::ThreeWayComparator;
+using dtree::Tuple;
+
+TEST(Tuple, ConstructionAndAccess) {
+    Tuple<3> t{1, 2, 3};
+    EXPECT_EQ(t[0], 1u);
+    EXPECT_EQ(t[1], 2u);
+    EXPECT_EQ(t[2], 3u);
+    EXPECT_EQ(Tuple<3>::arity(), 3u);
+    EXPECT_EQ(Tuple<3>::static_size(), 3u);
+    t[1] = 99;
+    EXPECT_EQ(t.data()[1], 99u);
+}
+
+TEST(Tuple, PartialConstructionZeroPads) {
+    Tuple<4> t{7, 8};
+    EXPECT_EQ(t[0], 7u);
+    EXPECT_EQ(t[1], 8u);
+    EXPECT_EQ(t[2], 0u);
+    EXPECT_EQ(t[3], 0u);
+}
+
+TEST(Tuple, LexicographicOrder) {
+    EXPECT_LT((Tuple<2>{1, 9}), (Tuple<2>{2, 0}));
+    EXPECT_LT((Tuple<2>{1, 1}), (Tuple<2>{1, 2}));
+    EXPECT_EQ((Tuple<2>{3, 4}), (Tuple<2>{3, 4}));
+    EXPECT_GT((Tuple<2>{3, 5}), (Tuple<2>{3, 4}));
+    // The paper's definition: (u,v) <= (u',v') iff u<u' or (u=u' and v<=v').
+    std::set<Tuple<2>> s{{2, 1}, {1, 2}, {1, 1}, {2, 0}};
+    auto it = s.begin();
+    EXPECT_EQ(*it++, (Tuple<2>{1, 1}));
+    EXPECT_EQ(*it++, (Tuple<2>{1, 2}));
+    EXPECT_EQ(*it++, (Tuple<2>{2, 0}));
+    EXPECT_EQ(*it++, (Tuple<2>{2, 1}));
+}
+
+TEST(Tuple, PrefixBoundsBracketExactlyThePrefixRange) {
+    const auto lo = dtree::prefix_low<2>(std::uint64_t{7});
+    const auto hi = dtree::prefix_high<2>(std::uint64_t{7});
+    EXPECT_LT((Tuple<2>{6, ~0ull}), lo);
+    EXPECT_LE(lo, (Tuple<2>{7, 0}));
+    EXPECT_GE(hi, (Tuple<2>{7, ~0ull}));
+    EXPECT_LT(hi, (Tuple<2>{8, 0}));
+}
+
+TEST(Tuple, HashSupportsUnorderedContainers) {
+    std::unordered_set<Tuple<2>> s;
+    for (std::uint64_t i = 0; i < 1000; ++i) s.insert(Tuple<2>{i, i * 2});
+    EXPECT_EQ(s.size(), 1000u);
+    EXPECT_TRUE(s.count(Tuple<2>{500, 1000}));
+    EXPECT_FALSE(s.count(Tuple<2>{500, 999}));
+    // Different tuples hash differently often enough to be a real hash.
+    EXPECT_NE(std::hash<Tuple<2>>{}(Tuple<2>{1, 2}), std::hash<Tuple<2>>{}(Tuple<2>{2, 1}));
+}
+
+TEST(Tuple, StreamOutput) {
+    std::ostringstream ss;
+    ss << Tuple<3>{1, 2, 3};
+    EXPECT_EQ(ss.str(), "(1,2,3)");
+}
+
+TEST(ThreeWayComparatorTest, ScalarSemantics) {
+    ThreeWayComparator<int> c;
+    EXPECT_EQ(c(1, 2), -1);
+    EXPECT_EQ(c(2, 1), 1);
+    EXPECT_EQ(c(2, 2), 0);
+    EXPECT_TRUE(c.less(1, 2));
+    EXPECT_FALSE(c.less(2, 2));
+    EXPECT_TRUE(c.equal(2, 2));
+}
+
+TEST(ThreeWayComparatorTest, TupleSinglePass) {
+    ThreeWayComparator<Tuple<3>> c;
+    EXPECT_EQ(c(Tuple<3>{1, 2, 3}, Tuple<3>{1, 2, 4}), -1);
+    EXPECT_EQ(c(Tuple<3>{1, 3, 0}, Tuple<3>{1, 2, 9}), 1);
+    EXPECT_EQ(c(Tuple<3>{5, 5, 5}, Tuple<3>{5, 5, 5}), 0);
+    EXPECT_TRUE(c.less(Tuple<3>{0, 0, 1}, Tuple<3>{0, 1, 0}));
+    EXPECT_TRUE(c.equal(Tuple<3>{9, 9, 9}, Tuple<3>{9, 9, 9}));
+}
+
+TEST(ThreeWayComparatorTest, AgreesWithSpaceshipOnRandomPairs) {
+    ThreeWayComparator<Tuple<2>> c;
+    for (std::uint64_t a = 0; a < 20; ++a) {
+        for (std::uint64_t b = 0; b < 20; ++b) {
+            const Tuple<2> x{a / 5, a % 5};
+            const Tuple<2> y{b / 5, b % 5};
+            const auto ref = x <=> y;
+            const int got = c(x, y);
+            EXPECT_EQ(got < 0, ref < 0);
+            EXPECT_EQ(got == 0, ref == 0);
+            EXPECT_EQ(got > 0, ref > 0);
+        }
+    }
+}
+
+TEST(LessToThreeWayTest, AdaptsCustomOrder) {
+    // Reverse order via std::greater.
+    LessToThreeWay<int, std::greater<int>> c{};
+    EXPECT_EQ(c(1, 2), 1);
+    EXPECT_EQ(c(2, 1), -1);
+    EXPECT_EQ(c(3, 3), 0);
+    EXPECT_TRUE(c.less(9, 2));
+    EXPECT_TRUE(c.equal(4, 4));
+}
+
+} // namespace

@@ -1,0 +1,199 @@
+// Unit tests for the utility layer: partitioning, CLI parsing, RNG helpers,
+// spinlock, table printer, timers.
+
+#include "util/cli.h"
+#include "util/parallel.h"
+#include "util/random.h"
+#include "util/spinlock.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <sstream>
+#include <thread>
+
+namespace {
+
+using namespace dtree::util;
+
+// -- block_range -------------------------------------------------------------
+
+TEST(BlockRange, CoversExactlyOnce) {
+    for (std::size_t n : {0ul, 1ul, 7ul, 100ul, 101ul, 4096ul}) {
+        for (unsigned T : {1u, 2u, 3u, 8u, 16u, 33u}) {
+            std::size_t covered = 0;
+            std::size_t prev_end = 0;
+            for (unsigned t = 0; t < T; ++t) {
+                auto [b, e] = block_range(n, t, T);
+                EXPECT_EQ(b, prev_end) << "blocks must be contiguous";
+                EXPECT_LE(b, e);
+                covered += e - b;
+                prev_end = e;
+            }
+            EXPECT_EQ(covered, n) << "n=" << n << " T=" << T;
+            EXPECT_EQ(prev_end, n);
+        }
+    }
+}
+
+TEST(BlockRange, BalancedWithinOne) {
+    for (unsigned T : {2u, 3u, 7u, 16u}) {
+        std::size_t min_len = ~0ul, max_len = 0;
+        for (unsigned t = 0; t < T; ++t) {
+            auto [b, e] = block_range(1000, t, T);
+            min_len = std::min(min_len, e - b);
+            max_len = std::max(max_len, e - b);
+        }
+        EXPECT_LE(max_len - min_len, 1u);
+    }
+}
+
+TEST(RunThreads, AllThreadIdsFire) {
+    std::atomic<unsigned> mask{0};
+    run_threads(8, [&](unsigned t) { mask.fetch_or(1u << t); });
+    EXPECT_EQ(mask.load(), 0xFFu);
+}
+
+TEST(ParallelBlocks, SumsMatchSequential) {
+    std::vector<int> data(10000);
+    std::iota(data.begin(), data.end(), 0);
+    std::atomic<long long> sum{0};
+    parallel_blocks(data.size(), 4, [&](unsigned, std::size_t b, std::size_t e) {
+        long long local = 0;
+        for (std::size_t i = b; i < e; ++i) local += data[i];
+        sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 10000LL * 9999 / 2);
+}
+
+// -- Cli ------------------------------------------------------------------------
+
+TEST(Cli, ParsesFlagsAndValues) {
+    const char* argv[] = {"prog", "--full", "--n=500", "--name=abc",
+                          "--threads=1,2,4", "--rate=0.5"};
+    Cli cli(6, const_cast<char**>(argv));
+    EXPECT_TRUE(cli.get_bool("full"));
+    EXPECT_FALSE(cli.get_bool("absent"));
+    EXPECT_EQ(cli.get_u64("n", 0), 500u);
+    EXPECT_EQ(cli.get_u64("absent", 7), 7u);
+    EXPECT_EQ(cli.get_str("name", ""), "abc");
+    EXPECT_DOUBLE_EQ(cli.get_double("rate", 0), 0.5);
+    const auto threads = cli.get_list("threads", {});
+    ASSERT_EQ(threads.size(), 3u);
+    EXPECT_EQ(threads[0], 1u);
+    EXPECT_EQ(threads[2], 4u);
+    EXPECT_TRUE(cli.has("full"));
+    EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, DefaultListWhenAbsent) {
+    const char* argv[] = {"prog"};
+    Cli cli(1, const_cast<char**>(argv));
+    const auto def = cli.get_list("threads", {1, 2});
+    ASSERT_EQ(def.size(), 2u);
+}
+
+// -- RNG helpers ---------------------------------------------------------------
+
+TEST(Random, UniformIntWithinBounds) {
+    Rng rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = uniform_int<std::uint64_t>(rng, 10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(Random, PermutationIsABijection) {
+    Rng rng(2);
+    auto p = permutation(1000, rng);
+    std::vector<bool> seen(1000, false);
+    for (auto v : p) {
+        ASSERT_LT(v, 1000u);
+        EXPECT_FALSE(seen[v]);
+        seen[v] = true;
+    }
+}
+
+TEST(Random, ZipfIsSkewedTowardLowRanks) {
+    Rng rng(3);
+    dtree::util::Zipf zipf(1000, 1.0);
+    std::size_t low = 0, total = 20000;
+    for (std::size_t i = 0; i < total; ++i) {
+        if (zipf(rng) < 10) ++low;
+    }
+    // With s=1, ranks 0-9 carry ~39% of the mass; uniform would give 1%.
+    EXPECT_GT(low, total / 5);
+}
+
+TEST(Random, DeterministicUnderSeed) {
+    Rng a(42), b(42), c(43);
+    EXPECT_EQ(a(), b());
+    Rng a2(42);
+    EXPECT_NE(a2(), c());
+}
+
+// -- Spinlock --------------------------------------------------------------------
+
+TEST(SpinlockTest, MutualExclusion) {
+    Spinlock lock;
+    std::uint64_t counter = 0;
+    run_threads(8, [&](unsigned) {
+        for (int i = 0; i < 20000; ++i) {
+            std::lock_guard guard(lock);
+            ++counter;
+        }
+    });
+    EXPECT_EQ(counter, 8u * 20000u);
+}
+
+TEST(SpinlockTest, TryLock) {
+    Spinlock lock;
+    EXPECT_TRUE(lock.try_lock());
+    EXPECT_FALSE(lock.try_lock());
+    lock.unlock();
+    EXPECT_TRUE(lock.try_lock());
+    lock.unlock();
+}
+
+// -- SeriesTable ------------------------------------------------------------------
+
+TEST(SeriesTableTest, PrintsAlignedRows) {
+    SeriesTable t("metric", "threads");
+    t.set_x({"1", "2"});
+    t.add("alpha", 1.5);
+    t.add("alpha", 2.5);
+    t.add("beta", 3.0);
+    t.add("beta", 4.0);
+    std::ostringstream ss;
+    t.print(ss);
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("metric"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.500"), std::string::npos);
+    EXPECT_NE(out.find("4.000"), std::string::npos);
+    // alpha's row appears before beta's.
+    EXPECT_LT(out.find("alpha"), out.find("beta"));
+}
+
+// -- Timer -------------------------------------------------------------------------
+
+TEST(TimerTest, MeasuresElapsedTime) {
+    Timer t;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_GE(t.elapsed_ns(), 15'000'000u);
+    EXPECT_GE(t.elapsed_s(), 0.015);
+    t.restart();
+    EXPECT_LT(t.elapsed_s(), 0.015);
+}
+
+TEST(TimerTest, TimeSHelper) {
+    const double secs = dtree::util::time_s(
+        [] { std::this_thread::sleep_for(std::chrono::milliseconds(10)); });
+    EXPECT_GE(secs, 0.005);
+}
+
+} // namespace
