@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eqrel.dir/ablation_eqrel.cpp.o"
+  "CMakeFiles/ablation_eqrel.dir/ablation_eqrel.cpp.o.d"
+  "ablation_eqrel"
+  "ablation_eqrel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eqrel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

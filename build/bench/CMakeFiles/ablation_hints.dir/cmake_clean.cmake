@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hints.dir/ablation_hints.cpp.o"
+  "CMakeFiles/ablation_hints.dir/ablation_hints.cpp.o.d"
+  "ablation_hints"
+  "ablation_hints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

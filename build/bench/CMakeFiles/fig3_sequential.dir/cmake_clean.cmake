@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_sequential.dir/fig3_sequential.cpp.o"
+  "CMakeFiles/fig3_sequential.dir/fig3_sequential.cpp.o.d"
+  "fig3_sequential"
+  "fig3_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

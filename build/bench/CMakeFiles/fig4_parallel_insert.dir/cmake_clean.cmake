@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_parallel_insert.dir/fig4_parallel_insert.cpp.o"
+  "CMakeFiles/fig4_parallel_insert.dir/fig4_parallel_insert.cpp.o.d"
+  "fig4_parallel_insert"
+  "fig4_parallel_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_parallel_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

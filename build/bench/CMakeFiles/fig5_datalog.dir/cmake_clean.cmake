@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_datalog.dir/fig5_datalog.cpp.o"
+  "CMakeFiles/fig5_datalog.dir/fig5_datalog.cpp.o.d"
+  "fig5_datalog"
+  "fig5_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_trees.dir/table3_trees.cpp.o"
+  "CMakeFiles/table3_trees.dir/table3_trees.cpp.o.d"
+  "table3_trees"
+  "table3_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

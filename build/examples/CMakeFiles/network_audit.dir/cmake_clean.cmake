@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_audit.dir/network_audit.cpp.o"
+  "CMakeFiles/network_audit.dir/network_audit.cpp.o.d"
+  "network_audit"
+  "network_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

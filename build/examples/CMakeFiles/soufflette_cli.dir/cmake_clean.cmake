@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soufflette_cli.dir/soufflette.cpp.o"
+  "CMakeFiles/soufflette_cli.dir/soufflette.cpp.o.d"
+  "soufflette"
+  "soufflette.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soufflette_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

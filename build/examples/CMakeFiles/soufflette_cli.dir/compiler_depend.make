@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for soufflette_cli.
+# This may be replaced when dependencies are built.

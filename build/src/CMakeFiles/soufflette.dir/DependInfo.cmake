@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/index_selection.cpp" "src/CMakeFiles/soufflette.dir/datalog/index_selection.cpp.o" "gcc" "src/CMakeFiles/soufflette.dir/datalog/index_selection.cpp.o.d"
+  "/root/repo/src/datalog/io.cpp" "src/CMakeFiles/soufflette.dir/datalog/io.cpp.o" "gcc" "src/CMakeFiles/soufflette.dir/datalog/io.cpp.o.d"
+  "/root/repo/src/datalog/lexer.cpp" "src/CMakeFiles/soufflette.dir/datalog/lexer.cpp.o" "gcc" "src/CMakeFiles/soufflette.dir/datalog/lexer.cpp.o.d"
+  "/root/repo/src/datalog/parser.cpp" "src/CMakeFiles/soufflette.dir/datalog/parser.cpp.o" "gcc" "src/CMakeFiles/soufflette.dir/datalog/parser.cpp.o.d"
+  "/root/repo/src/datalog/program.cpp" "src/CMakeFiles/soufflette.dir/datalog/program.cpp.o" "gcc" "src/CMakeFiles/soufflette.dir/datalog/program.cpp.o.d"
+  "/root/repo/src/datalog/semantics.cpp" "src/CMakeFiles/soufflette.dir/datalog/semantics.cpp.o" "gcc" "src/CMakeFiles/soufflette.dir/datalog/semantics.cpp.o.d"
+  "/root/repo/src/datalog/workloads.cpp" "src/CMakeFiles/soufflette.dir/datalog/workloads.cpp.o" "gcc" "src/CMakeFiles/soufflette.dir/datalog/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soufflette.dir/datalog/index_selection.cpp.o"
+  "CMakeFiles/soufflette.dir/datalog/index_selection.cpp.o.d"
+  "CMakeFiles/soufflette.dir/datalog/io.cpp.o"
+  "CMakeFiles/soufflette.dir/datalog/io.cpp.o.d"
+  "CMakeFiles/soufflette.dir/datalog/lexer.cpp.o"
+  "CMakeFiles/soufflette.dir/datalog/lexer.cpp.o.d"
+  "CMakeFiles/soufflette.dir/datalog/parser.cpp.o"
+  "CMakeFiles/soufflette.dir/datalog/parser.cpp.o.d"
+  "CMakeFiles/soufflette.dir/datalog/program.cpp.o"
+  "CMakeFiles/soufflette.dir/datalog/program.cpp.o.d"
+  "CMakeFiles/soufflette.dir/datalog/semantics.cpp.o"
+  "CMakeFiles/soufflette.dir/datalog/semantics.cpp.o.d"
+  "CMakeFiles/soufflette.dir/datalog/workloads.cpp.o"
+  "CMakeFiles/soufflette.dir/datalog/workloads.cpp.o.d"
+  "libsoufflette.a"
+  "libsoufflette.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soufflette.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

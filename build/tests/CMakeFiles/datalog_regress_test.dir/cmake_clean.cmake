@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_regress_test.dir/datalog_regress_test.cpp.o"
+  "CMakeFiles/datalog_regress_test.dir/datalog_regress_test.cpp.o.d"
+  "datalog_regress_test"
+  "datalog_regress_test.pdb"
+  "datalog_regress_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_regress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

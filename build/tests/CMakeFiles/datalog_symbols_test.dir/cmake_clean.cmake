@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_symbols_test.dir/datalog_symbols_test.cpp.o"
+  "CMakeFiles/datalog_symbols_test.dir/datalog_symbols_test.cpp.o.d"
+  "datalog_symbols_test"
+  "datalog_symbols_test.pdb"
+  "datalog_symbols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_symbols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eqrel_test.dir/eqrel_test.cpp.o"
+  "CMakeFiles/eqrel_test.dir/eqrel_test.cpp.o.d"
+  "eqrel_test"
+  "eqrel_test.pdb"
+  "eqrel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eqrel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_selection_test.dir/index_selection_test.cpp.o"
+  "CMakeFiles/index_selection_test.dir/index_selection_test.cpp.o.d"
+  "index_selection_test"
+  "index_selection_test.pdb"
+  "index_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

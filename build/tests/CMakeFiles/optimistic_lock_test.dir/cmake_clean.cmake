@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimistic_lock_test.dir/optimistic_lock_test.cpp.o"
+  "CMakeFiles/optimistic_lock_test.dir/optimistic_lock_test.cpp.o.d"
+  "optimistic_lock_test"
+  "optimistic_lock_test.pdb"
+  "optimistic_lock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimistic_lock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuple_comparator_test.dir/tuple_comparator_test.cpp.o"
+  "CMakeFiles/tuple_comparator_test.dir/tuple_comparator_test.cpp.o.d"
+  "tuple_comparator_test"
+  "tuple_comparator_test.pdb"
+  "tuple_comparator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuple_comparator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

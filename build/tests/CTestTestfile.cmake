@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/optimistic_lock_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_basic_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/table3_trees_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/tuple_comparator_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_property_test[1]_include.cmake")
+include("/root/repo/build/tests/btree_iterator_test[1]_include.cmake")
+include("/root/repo/build/tests/race_access_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_io_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_regress_test[1]_include.cmake")
+include("/root/repo/build/tests/index_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/datalog_symbols_test[1]_include.cmake")
+include("/root/repo/build/tests/eqrel_test[1]_include.cmake")
