@@ -8,8 +8,10 @@
 
 #include "datalog/program.h"
 #include "datalog/workloads.h"
+#include "util/failpoint.h"
 
 #include <cstdio>
+#include <iostream>
 
 namespace {
 
@@ -90,5 +92,12 @@ int main(int argc, char** argv) {
                 100.0 * e.hint_rate_16t);
     std::printf("\n(paper: Doop 54%%/52%%, EC2 77%%/76%%; the EC2-like class must show\n"
                 "the higher rate of the two)\n");
+
+    // Present only in DATATREE_FAILPOINTS builds: how often each injection
+    // site was evaluated/fired during the run (all zero unless armed).
+    if (dtree::fail::enabled()) {
+        std::printf("\n=== failpoint counters (DATATREE_FAILPOINTS build) ===\n\n");
+        dtree::fail::report(std::cout);
+    }
     return 0;
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# The standing correctness gate every performance PR must clear:
+#
+#   1. tier-1   Release build + the full ctest suite (which includes the
+#               failpoint torture tests — torture_btree_test is always
+#               compiled with DATATREE_FAILPOINTS).
+#   2. TSan     concurrency + torture tests under -fsanitize=thread.
+#   3. ASan     the same under -fsanitize=address (skip with --no-asan).
+#
+# The sanitizer passes build only the concurrency-relevant test targets and
+# filter ctest accordingly: the datalog targets pull in OpenMP, whose runtime
+# is not TSan-instrumented and would drown the run in false positives.
+#
+# Usage: scripts/check.sh [--no-asan]
+# Env:   JOBS=<n>  build/test parallelism (default: nproc)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+RUN_ASAN=1
+[[ "${1:-}" == "--no-asan" ]] && RUN_ASAN=0
+
+# Test targets exercising the concurrent tree and its lock protocol.
+CONC_TARGETS=(torture_btree_test optimistic_lock_test btree_concurrent_test
+              btree_smallnode_test hints_test)
+# ctest -R filter matching exactly the tests those targets register.
+CONC_FILTER='Torture|OptimisticLock|AbortWrite|Concurrent|SmallNode|Hint'
+
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+
+echo "== [1] tier-1: Release build + full ctest (incl. failpoint torture) =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS")
+
+echo "== [2] TSan: concurrency + torture suite =="
+cmake -B build-tsan -S . -DDATATREE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS" --target "${CONC_TARGETS[@]}"
+(cd build-tsan && ctest --output-on-failure -j"$JOBS" -R "$CONC_FILTER")
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo "== [3] ASan: concurrency + torture suite =="
+  cmake -B build-asan -S . -DDATATREE_SANITIZE=address >/dev/null
+  cmake --build build-asan -j"$JOBS" --target "${CONC_TARGETS[@]}"
+  (cd build-asan && ctest --output-on-failure -j"$JOBS" -R "$CONC_FILTER")
+fi
+
+echo "== all checks passed =="

@@ -39,6 +39,7 @@
 #include "core/node_allocator.h"
 #include "core/optimistic_lock.h"
 #include "core/race_access.h"
+#include "util/failpoint.h"
 
 namespace dtree {
 
@@ -453,7 +454,7 @@ private:
     bool insert_concurrent(const Key& k, operation_hints& hints) {
         // Safe lazy initialisation of the root (Alg. 1 lines 2-9), fused with
         // the first insertion.
-        while (root_.load() == nullptr) {
+        while (root_.load_acquire() == nullptr) {
             if (!root_lock_.try_start_write()) {
                 cpu_relax();
                 continue;
@@ -462,7 +463,7 @@ private:
                 NodeT* leaf = alloc_.make_leaf();
                 leaf->keys[0] = k; // unpublished: plain store is fine
                 leaf->num_elements.store(1);
-                root_.store(leaf);
+                root_.store_release(leaf);
                 root_lock_.end_write();
                 hints.set(HintKind::Insert, leaf);
                 return true;
@@ -496,7 +497,9 @@ private:
         NodeT* cur;
         do {
             root_lease = root_lock_.start_read();
-            cur = root_.load();
+            // Acquire: cur's lock is touched BEFORE the root lease validates,
+            // so a freshly published root must be visible fully constructed.
+            cur = root_.load_acquire();
             cur_lease = cur->lock.start_read();
         } while (!root_lock_.end_read(root_lease));
 
@@ -538,6 +541,8 @@ private:
     /// split, after performing it — Alg. 1 lines 39-43).
     LeafResult leaf_insert(NodeT* leaf, Lease lease, const Key& k,
                            operation_hints& hints) {
+        // Fault injection: force the Alg. 1 restart path (goto restart).
+        if (DTREE_FAILPOINT(leaf_retry)) return LeafResult::Retry;
         const unsigned n = leaf->num_elements.load();
         if (n > BlockSize) return LeafResult::Retry; // torn read; impossible once validated
         const unsigned pos = search_pos_racy(leaf->keys, n, k);
@@ -551,6 +556,10 @@ private:
                 return LeafResult::Duplicate;
             }
         }
+        // Fault injection: widen the window between the racy (n, pos)
+        // snapshot above and the upgrade below — exactly what the upgrade's
+        // atomic validation protects against (Alg. 1 line 36).
+        DTREE_FAILPOINT_DELAY(upgrade_delay);
         if (!leaf->lock.try_upgrade_to_write(lease)) return LeafResult::Retry;
         // Lease validated atomically by the upgrade: n and pos are accurate.
         if (leaf->full()) {
@@ -575,24 +584,32 @@ private:
     /// lock), performs the structural split, then unlocks top-down.
     /// Precondition: `node` is write-locked by the caller and full.
     void split_concurrent(NodeT* node) {
+        // Fault injection: hold the write-locked leaf before acquiring any
+        // ancestor lock, widening the window in which concurrent inserts see
+        // an odd version and must spin or retry.
+        DTREE_FAILPOINT_DELAY(split_delay);
         // Phase 1: lock the path bottom-up (lines 2-23). nullptr in `path`
         // denotes the tree's root lock.
         InnerT* path[64]; // bounded by tree depth; 64 levels is unreachable
         unsigned depth = 0;
         NodeT* cur = node;
         for (;;) {
-            InnerT* parent = cur->parent.load();
+            // Acquire loads: the parent pointer may name an inner node another
+            // thread's split published moments ago (release-stored); its lock
+            // is taken below without any prior lease validation on the
+            // publisher, so this load is the only happens-before edge.
+            InnerT* parent = cur->parent.load_acquire();
             for (;;) {
                 if (parent) {
                     parent->lock.start_write();
                     if (parent == cur->parent.load()) break;
                     parent->lock.abort_write();
-                    parent = cur->parent.load();
+                    parent = cur->parent.load_acquire();
                 } else {
                     root_lock_.start_write();
                     if (cur->parent.load() == nullptr) break;
                     root_lock_.abort_write();
-                    parent = cur->parent.load();
+                    parent = cur->parent.load_acquire();
                 }
             }
             assert(depth < 64);
@@ -601,9 +618,15 @@ private:
             cur = parent;
         }
 
+        // Fault injection: stretch the fully-locked split window (every
+        // ancestor on `path` is write-locked here) before restructuring.
+        DTREE_FAILPOINT_DELAY(split_delay);
         // Phase 2: the actual split, with exclusive access to everything it
-        // will touch (line 26).
-        split_and_propagate(node);
+        // will touch (line 26). Fresh inner siblings created along the way
+        // are born write-locked (see split_and_propagate) and collected here.
+        NodeT* created[64];
+        unsigned n_created = 0;
+        split_and_propagate(node, created, &n_created);
 
         // Phase 3: unlock top-down (lines 28-35).
         for (unsigned i = depth; i-- > 0;) {
@@ -613,6 +636,9 @@ private:
                 root_lock_.end_write();
             }
         }
+        for (unsigned i = n_created; i-- > 0;) {
+            created[i]->lock.end_write();
+        }
     }
 
     /// Structural split of a full node; shared by the sequential path (called
@@ -620,13 +646,28 @@ private:
     /// write-locked). Keeps the lower half in `node`, moves the upper half to
     /// a fresh right sibling, promotes the median to the parent — splitting
     /// full parents recursively (they are locked, see split_concurrent).
-    void split_and_propagate(NodeT* node) {
+    void split_and_propagate(NodeT* node, NodeT** created = nullptr,
+                             unsigned* n_created = nullptr) {
         assert(node->full());
         constexpr unsigned mid = BlockSize / 2;
         const Key median = node->keys[mid]; // we are the only writer: plain read
 
         NodeT* sibling = node->inner ? static_cast<NodeT*>(alloc_.make_inner())
                                      : alloc_.make_leaf();
+        // A fresh *inner* sibling becomes reachable before this split
+        // finishes: the rehoming loop below publishes it through its
+        // children's parent pointers, which a concurrent bottom-up split
+        // (Alg. 2 phase 1) can walk up and lock while we are still copying
+        // keys into the sibling and inserting it into its parent. Hold its
+        // write lock from birth; split_concurrent releases it once the whole
+        // restructuring is done. (Leaf siblings only become reachable via
+        // the parent's children array, which stays write-locked until
+        // phase 3, so they do not need this.)
+        if (created && node->inner) {
+            sibling->lock.start_write(); // unpublished: always uncontended
+            assert(*n_created < 64);
+            created[(*n_created)++] = sibling;
+        }
         const unsigned moved = BlockSize - mid - 1;
         for (unsigned i = 0; i < moved; ++i) {
             sibling->keys[i] = node->keys[mid + 1 + i]; // sibling unpublished
@@ -637,7 +678,9 @@ private:
             for (unsigned i = 0; i <= moved; ++i) {
                 NodeT* child = in->children[mid + 1 + i].load();
                 sib->children[i].store(child);
-                child->parent.store(sib);
+                // Release: publishes the fresh sibling to any thread that
+                // later splits `child` and walks its parent pointer.
+                child->parent.store_release(sib);
                 child->position.store(i);
             }
         }
@@ -653,15 +696,18 @@ private:
             new_root->children[0].store(node);
             new_root->children[1].store(sibling);
             new_root->num_elements.store(1);
-            node->parent.store(new_root);
+            // Release stores: the new root is reachable through the parent
+            // pointers (split walks) and the root pointer (descent starts)
+            // before any lease on its publisher can be validated.
+            node->parent.store_release(new_root);
             node->position.store(0);
-            sibling->parent.store(new_root);
+            sibling->parent.store_release(new_root);
             sibling->position.store(1);
-            root_.store(new_root);
+            root_.store_release(new_root);
             return;
         }
         if (parent->full()) {
-            split_and_propagate(parent);
+            split_and_propagate(parent, created, n_created);
             // The parent's split may have rehomed `node` under the parent's
             // new sibling; its parent/position fields are up to date (we hold
             // the necessary locks in concurrent mode).

@@ -30,6 +30,8 @@
 #include <cassert>
 #include <cstdint>
 
+#include "util/failpoint.h"
+
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
 #endif
@@ -74,6 +76,9 @@ public:
     /// True iff no write has begun since the lease was issued. Data read
     /// under the lease may be *used* only after a successful validation.
     bool validate(Lease lease) const {
+        // Fault injection: a spurious failure only sends the caller down its
+        // retry path, which the protocol must tolerate anyway.
+        if (DTREE_FAILPOINT(validate_fail)) return false;
         std::atomic_thread_fence(std::memory_order_acquire);
         return version_.load(std::memory_order_relaxed) == lease.version;
     }
@@ -85,6 +90,8 @@ public:
     /// Fails (without blocking) if any write intervened since the lease was
     /// issued or another writer holds the lock.
     bool try_upgrade_to_write(Lease lease) {
+        // Fault injection: a lost upgrade race; no CAS is attempted.
+        if (DTREE_FAILPOINT(upgrade_fail)) return false;
         std::uint64_t expected = lease.version;
         assert((expected & 1u) == 0 && "lease versions are always even");
         return version_.compare_exchange_strong(expected, expected + 1,

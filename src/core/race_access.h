@@ -103,6 +103,17 @@ public:
     T load() const { return v_.load(std::memory_order_relaxed); }
     void store(T v) { v_.store(v, std::memory_order_relaxed); }
 
+    /// Publication accessors for pointers to freshly constructed nodes.
+    /// A reader that dereferences such a pointer WITHOUT first validating a
+    /// lease on the node that published it (the bottom-up split's parent
+    /// walk, the root fetch before its lease is checked) gets no
+    /// happens-before edge from the relaxed pair above, so the new node's
+    /// lock/field initialisation would race with the reader's first access.
+    /// Release-store on publish + acquire-load on those paths closes the
+    /// gap; on x86 both compile to plain moves.
+    T load_acquire() const { return v_.load(std::memory_order_acquire); }
+    void store_release(T v) { v_.store(v, std::memory_order_release); }
+
 private:
     std::atomic<T> v_;
 };
@@ -115,6 +126,9 @@ public:
 
     T load() const { return v_; }
     void store(T v) { v_ = v; }
+
+    T load_acquire() const { return v_; }
+    void store_release(T v) { v_ = v; }
 
 private:
     T v_;

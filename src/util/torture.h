@@ -1,0 +1,280 @@
+#pragma once
+
+// Seeded torture harness for the concurrent B-tree.
+//
+// Runs rounds of the paper's phase-concurrent discipline against a
+// mutex-guarded std::set oracle:
+//
+//   write phase  N threads insert random keys (tree insert OUTSIDE the
+//                oracle mutex, so tree-internal races still happen at full
+//                frequency), logging every operation per thread;
+//   barrier      check_invariants(), size / content equality vs the oracle,
+//                and "successful inserts == distinct new keys" accounting;
+//   read phase   N threads run contains / lower_bound / upper_bound / short
+//                scans against the now-immutable oracle (reads are
+//                unsynchronised by the tree's contract, so no locks);
+//   barrier      check_invariants() again.
+//
+// Everything is driven by one seed: per-thread PRNGs derive from
+// (seed, round, tid), and worker threads pin their failpoint random-stream
+// ordinal to tid, so a failing configuration is reproducible by rerunning
+// with the same TortureOptions. On the first mismatch the harness captures a
+// description (seed, round, thread, op index, expected/actual), then REPLAYS
+// the accumulated per-thread insert logs sequentially into a fresh tree: if
+// the sequential replay diverges from the oracle too, the bug is
+// deterministic; if not, it only manifests under the concurrent
+// interleaving. The verdict is part of the failure string.
+
+#include "util/failpoint.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace dtree::util {
+
+struct TortureOptions {
+    unsigned threads = 4;
+    std::size_t rounds = 3;
+    std::size_t inserts_per_thread = 6000; ///< per write phase
+    std::size_t reads_per_thread = 6000;   ///< per read phase
+    std::uint64_t seed = 1;
+    std::uint64_t key_space = 30000; ///< keys drawn uniformly from [0, key_space)
+    unsigned scan_len = 24;          ///< elements compared per range scan
+};
+
+struct TortureResult {
+    bool ok = true;
+    std::string failure; ///< empty when ok; else seed/round/thread/op detail
+    std::uint64_t inserts = 0;  ///< insert calls issued
+    std::uint64_t new_keys = 0; ///< distinct keys (final oracle size)
+    std::uint64_t reads = 0;    ///< point queries issued
+    std::uint64_t scans = 0;    ///< range scans issued
+
+    explicit operator bool() const { return ok; }
+};
+
+namespace torture_detail {
+
+struct Op {
+    std::uint64_t key;
+    bool inserted; // return value observed from tree.insert
+};
+
+} // namespace torture_detail
+
+/// Runs the torture mix against `tree` (must be empty and default-semantics:
+/// a fresh instance of the same type is built for the sequential replay).
+/// Returns on the first detected divergence; tree state is left as-is for
+/// post-mortem inspection.
+template <typename Tree>
+TortureResult torture_run(Tree& tree, const TortureOptions& opt) {
+    using torture_detail::Op;
+
+    TortureResult res;
+    std::set<std::uint64_t> oracle;
+    std::mutex oracle_mu;
+
+    // Cumulative per-thread insert logs, kept across rounds for replay.
+    std::vector<std::vector<Op>> logs(opt.threads);
+
+    std::mutex failure_mu;
+    std::atomic<bool> failed{false};
+    auto record_failure = [&](const std::string& what) {
+        bool expected = false;
+        if (!failed.compare_exchange_strong(expected, true)) return;
+        std::lock_guard<std::mutex> g(failure_mu);
+        res.ok = false;
+        res.failure = what;
+    };
+    auto describe = [&](std::size_t round, unsigned tid, std::size_t op_index,
+                        const char* what, std::uint64_t key) {
+        std::ostringstream os;
+        os << "torture divergence: " << what << " (key " << key << ", seed "
+           << opt.seed << ", round " << round << ", thread " << tid << ", op "
+           << op_index << ", threads " << opt.threads << ")";
+        return os.str();
+    };
+
+    auto thread_rng = [&](std::size_t round, unsigned tid, bool read_phase) {
+        return Rng(opt.seed * 1000003 + round * 8191 + tid * 131 +
+                   (read_phase ? 7 : 0));
+    };
+
+    std::atomic<std::uint64_t> inserts{0}, reads{0}, scans{0};
+
+    for (std::size_t round = 0; round < opt.rounds && !failed.load(); ++round) {
+        const std::size_t oracle_before = oracle.size();
+        std::atomic<std::uint64_t> successes{0};
+
+        // -- write phase ----------------------------------------------------
+        run_threads(opt.threads, [&](unsigned tid) {
+            fail::set_thread_ordinal(tid);
+            Rng rng = thread_rng(round, tid, false);
+            auto hints = tree.create_hints();
+            std::uint64_t mine = 0;
+            for (std::size_t i = 0; i < opt.inserts_per_thread; ++i) {
+                if (failed.load(std::memory_order_relaxed)) break;
+                const std::uint64_t k =
+                    uniform_int<std::uint64_t>(rng, 0, opt.key_space - 1);
+                const bool inserted = tree.insert(k, hints);
+                if (inserted) ++mine;
+                logs[tid].push_back(Op{k, inserted});
+                {
+                    std::lock_guard<std::mutex> g(oracle_mu);
+                    oracle.insert(k);
+                }
+            }
+            successes.fetch_add(mine, std::memory_order_relaxed);
+            inserts.fetch_add(opt.inserts_per_thread, std::memory_order_relaxed);
+        });
+        if (failed.load()) break;
+
+        // -- barrier checks -------------------------------------------------
+        if (auto err = tree.check_invariants(); !err.empty()) {
+            record_failure("invariant violation after write phase: " + err +
+                           " (seed " + std::to_string(opt.seed) + ", round " +
+                           std::to_string(round) + ")");
+            break;
+        }
+        const std::uint64_t distinct_new = oracle.size() - oracle_before;
+        if (successes.load() != distinct_new) {
+            record_failure(
+                "insert accounting mismatch: " + std::to_string(successes.load()) +
+                " successful inserts vs " + std::to_string(distinct_new) +
+                " distinct new keys (seed " + std::to_string(opt.seed) +
+                ", round " + std::to_string(round) + ")");
+            break;
+        }
+        if (tree.size() != oracle.size() ||
+            !std::equal(tree.begin(), tree.end(), oracle.begin(), oracle.end())) {
+            record_failure("tree contents diverge from oracle after write phase"
+                           " (tree size " + std::to_string(tree.size()) +
+                           ", oracle size " + std::to_string(oracle.size()) +
+                           ", seed " + std::to_string(opt.seed) + ", round " +
+                           std::to_string(round) + ")");
+            break;
+        }
+
+        // -- read phase (oracle immutable: lock-free comparisons) -----------
+        run_threads(opt.threads, [&](unsigned tid) {
+            fail::set_thread_ordinal(tid);
+            Rng rng = thread_rng(round, tid, true);
+            auto hints = tree.create_hints();
+            std::uint64_t my_reads = 0, my_scans = 0;
+            for (std::size_t i = 0; i < opt.reads_per_thread; ++i) {
+                if (failed.load(std::memory_order_relaxed)) break;
+                const std::uint64_t k =
+                    uniform_int<std::uint64_t>(rng, 0, opt.key_space - 1);
+                switch (i % 4) {
+                    case 0: { // membership
+                        const bool got = tree.contains(k, hints);
+                        const bool want = oracle.count(k) != 0;
+                        if (got != want) {
+                            record_failure(describe(round, tid, i,
+                                                    got ? "contains returned true for absent key"
+                                                        : "contains returned false for present key",
+                                                    k));
+                            return;
+                        }
+                        ++my_reads;
+                        break;
+                    }
+                    case 1: { // lower_bound
+                        auto it = tree.lower_bound(k, hints);
+                        auto ref = oracle.lower_bound(k);
+                        const bool got_end = (it == tree.end());
+                        const bool want_end = (ref == oracle.end());
+                        if (got_end != want_end ||
+                            (!got_end && *it != *ref)) {
+                            record_failure(describe(round, tid, i,
+                                                    "lower_bound diverges from oracle", k));
+                            return;
+                        }
+                        ++my_reads;
+                        break;
+                    }
+                    case 2: { // upper_bound
+                        auto it = tree.upper_bound(k, hints);
+                        auto ref = oracle.upper_bound(k);
+                        const bool got_end = (it == tree.end());
+                        const bool want_end = (ref == oracle.end());
+                        if (got_end != want_end ||
+                            (!got_end && *it != *ref)) {
+                            record_failure(describe(round, tid, i,
+                                                    "upper_bound diverges from oracle", k));
+                            return;
+                        }
+                        ++my_reads;
+                        break;
+                    }
+                    case 3: { // short ordered scan
+                        auto it = tree.lower_bound(k, hints);
+                        auto ref = oracle.lower_bound(k);
+                        for (unsigned s = 0; s < opt.scan_len; ++s) {
+                            const bool got_end = (it == tree.end());
+                            const bool want_end = (ref == oracle.end());
+                            if (got_end != want_end ||
+                                (!got_end && *it != *ref)) {
+                                record_failure(describe(round, tid, i,
+                                                        "scan diverges from oracle", k));
+                                return;
+                            }
+                            if (got_end) break;
+                            ++it;
+                            ++ref;
+                        }
+                        ++my_scans;
+                        break;
+                    }
+                }
+            }
+            reads.fetch_add(my_reads, std::memory_order_relaxed);
+            scans.fetch_add(my_scans, std::memory_order_relaxed);
+        });
+        if (failed.load()) break;
+
+        if (auto err = tree.check_invariants(); !err.empty()) {
+            record_failure("invariant violation after read phase: " + err +
+                           " (seed " + std::to_string(opt.seed) + ", round " +
+                           std::to_string(round) + ")");
+            break;
+        }
+    }
+
+    res.inserts = inserts.load();
+    res.new_keys = oracle.size();
+    res.reads = reads.load();
+    res.scans = scans.load();
+
+    // -- replay diagnosis ---------------------------------------------------
+    // Re-run every logged insert sequentially (thread-major) into a fresh
+    // tree. Divergence here too => the bug is deterministic, not a race.
+    if (!res.ok) {
+        Tree replay_tree;
+        auto hints = replay_tree.create_hints();
+        for (const auto& log : logs) {
+            for (const Op& op : log) replay_tree.insert(op.key, hints);
+        }
+        const bool replay_matches =
+            replay_tree.check_invariants().empty() &&
+            replay_tree.size() == oracle.size() &&
+            std::equal(replay_tree.begin(), replay_tree.end(), oracle.begin(),
+                       oracle.end());
+        res.failure += replay_matches
+                           ? "; sequential replay of the op logs matches the "
+                             "oracle — concurrency-only bug"
+                           : "; sequential replay of the op logs ALSO diverges "
+                             "— deterministic bug";
+    }
+    return res;
+}
+
+} // namespace dtree::util

@@ -1,0 +1,113 @@
+// Small-node concurrent stress: BlockSize 3, 4, and 5 make nodes overflow
+// after a handful of inserts, so splits — and with them the whole Alg. 2
+// bottom-up locking protocol — dominate the execution. check_invariants()
+// must come back clean and the contents must match a sequentially built
+// reference after randomized concurrent insert storms.
+//
+// BlockSize 2 is rejected at compile time (static_assert in core/btree.h):
+// a median split of a 2-key node would leave an empty sibling, which the
+// minimum-fill invariant forbids. 3 is the smallest splittable node.
+
+#include "core/btree.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace {
+
+using dtree::util::run_threads;
+
+template <unsigned B>
+using SmallTree = dtree::btree_set<std::uint64_t,
+                                   dtree::ThreeWayComparator<std::uint64_t>, B>;
+
+template <unsigned B>
+void randomized_concurrent_inserts(std::uint64_t seed) {
+    constexpr unsigned kThreads = 4;
+    constexpr std::size_t kOpsPerThread = 8000;
+    constexpr std::uint64_t kKeySpace = 6000; // dense => constant splitting
+
+    // Pre-generate per-thread keys so the reference set can be built
+    // sequentially afterwards from exactly the same values.
+    std::vector<std::vector<std::uint64_t>> per_thread(kThreads);
+    for (unsigned tid = 0; tid < kThreads; ++tid) {
+        dtree::util::Rng rng(seed + tid);
+        for (std::size_t i = 0; i < kOpsPerThread; ++i) {
+            per_thread[tid].push_back(
+                dtree::util::uniform_int<std::uint64_t>(rng, 0, kKeySpace - 1));
+        }
+    }
+
+    SmallTree<B> t;
+    run_threads(kThreads, [&](unsigned tid) {
+        auto hints = t.create_hints();
+        for (auto k : per_thread[tid]) t.insert(k, hints);
+    });
+
+    ASSERT_TRUE(t.check_invariants().empty())
+        << "BlockSize " << B << ": " << t.check_invariants();
+    std::set<std::uint64_t> ref;
+    for (const auto& vec : per_thread) ref.insert(vec.begin(), vec.end());
+    ASSERT_EQ(t.size(), ref.size()) << "BlockSize " << B;
+    EXPECT_TRUE(std::equal(t.begin(), t.end(), ref.begin(), ref.end()))
+        << "BlockSize " << B << ": contents diverge from reference";
+}
+
+TEST(SmallNodeTest, RandomizedConcurrentInsertsBlock3) {
+    randomized_concurrent_inserts<3>(31);
+}
+TEST(SmallNodeTest, RandomizedConcurrentInsertsBlock4) {
+    randomized_concurrent_inserts<4>(41);
+}
+TEST(SmallNodeTest, RandomizedConcurrentInsertsBlock5) {
+    randomized_concurrent_inserts<5>(51);
+}
+
+// Interleaved strides: adjacent threads hammer the same leaves, maximising
+// upgrade conflicts while every insert path ends in a split sooner or later.
+TEST(SmallNodeTest, InterleavedStridesBlock3) {
+    constexpr unsigned kThreads = 4;
+    constexpr std::size_t kN = 20000;
+    SmallTree<3> t;
+    run_threads(kThreads, [&](unsigned tid) {
+        for (std::size_t i = tid; i < kN; i += kThreads) {
+            ASSERT_TRUE(t.insert(static_cast<std::uint64_t>(i)));
+        }
+    });
+    ASSERT_EQ(t.size(), kN);
+    EXPECT_TRUE(t.check_invariants().empty()) << t.check_invariants();
+    EXPECT_TRUE(std::is_sorted(t.begin(), t.end()));
+}
+
+// The tree must stay valid at every intermediate size, not just at the end:
+// alternate short concurrent bursts with invariant checks.
+TEST(SmallNodeTest, InvariantsHoldBetweenBurstsBlock4) {
+    SmallTree<4> t;
+    std::set<std::uint64_t> ref;
+    for (int burst = 0; burst < 8; ++burst) {
+        std::vector<std::vector<std::uint64_t>> per_thread(4);
+        for (unsigned tid = 0; tid < 4; ++tid) {
+            dtree::util::Rng rng(900 + burst * 4 + tid);
+            for (int i = 0; i < 500; ++i) {
+                per_thread[tid].push_back(
+                    dtree::util::uniform_int<std::uint64_t>(rng, 0, 3000));
+            }
+        }
+        run_threads(4, [&](unsigned tid) {
+            auto hints = t.create_hints();
+            for (auto k : per_thread[tid]) t.insert(k, hints);
+        });
+        for (const auto& vec : per_thread) ref.insert(vec.begin(), vec.end());
+        ASSERT_TRUE(t.check_invariants().empty())
+            << "burst " << burst << ": " << t.check_invariants();
+        ASSERT_EQ(t.size(), ref.size()) << "burst " << burst;
+    }
+}
+
+} // namespace

@@ -174,6 +174,82 @@ TEST(OptimisticLockConcurrent, ValidatedReadsAreNeverTorn) {
     EXPECT_GT(validated_reads.load(), 0u) << "test never exercised the read path";
 }
 
+// -- abort_write rollback regression ----------------------------------------
+// Alg. 2 relies on abort_write when it discovers it locked a stale parent:
+// the version must roll back so every lease issued before the aborted write
+// validates as if the write never happened.
+
+TEST(AbortWriteRollback, AllOutstandingLeasesStayValid) {
+    OptimisticReadWriteLock lock;
+    // Several readers hold leases when a writer enters and aborts.
+    auto l1 = lock.start_read();
+    auto l2 = lock.start_read();
+    auto l3 = lock.start_read();
+    ASSERT_TRUE(lock.try_start_write());
+    lock.abort_write();
+    EXPECT_TRUE(lock.validate(l1));
+    EXPECT_TRUE(lock.validate(l2));
+    EXPECT_TRUE(lock.end_read(l3));
+    EXPECT_FALSE(lock.is_write_locked());
+}
+
+TEST(AbortWriteRollback, UpgradeThenAbortRestoresOtherLeases) {
+    OptimisticReadWriteLock lock;
+    auto mine = lock.start_read();
+    auto other = lock.start_read();
+    ASSERT_TRUE(lock.try_upgrade_to_write(mine));
+    lock.abort_write();
+    EXPECT_TRUE(lock.validate(other))
+        << "an aborted upgrade must leave other leases intact";
+    // The rolled-back version even allows a fresh upgrade on the old lease.
+    EXPECT_TRUE(lock.try_upgrade_to_write(other));
+    lock.end_write();
+}
+
+TEST(AbortWriteRollback, RepeatedAbortCyclesNeverInvalidate) {
+    OptimisticReadWriteLock lock;
+    auto lease = lock.start_read();
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_TRUE(lock.try_start_write());
+        lock.abort_write();
+    }
+    EXPECT_TRUE(lock.validate(lease))
+        << "100 aborted writes must leave the lease valid";
+    // ... while one completed write still invalidates it.
+    lock.start_write();
+    lock.end_write();
+    EXPECT_FALSE(lock.validate(lease));
+}
+
+// A reader holding a lease across another thread's abort-write churn must
+// validate successfully afterwards — this is exactly the situation of an
+// insert descending past a node whose parent lock Alg. 2 grabbed and then
+// released via abort_write (stale-parent retry).
+TEST(AbortWriteRollback, LeaseSurvivesConcurrentAbortChurn) {
+    OptimisticReadWriteLock lock;
+    auto lease = lock.start_read();
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+        for (int i = 0; i < 10000; ++i) {
+            while (!lock.try_start_write()) dtree::cpu_relax();
+            lock.abort_write();
+        }
+        done.store(true);
+    });
+    // Validate continuously while the churn runs: whenever validation is
+    // attempted between cycles it must succeed (the version always rolls
+    // back to the lease's value).
+    std::uint64_t validated = 0;
+    while (!done.load()) {
+        if (lock.validate(lease)) ++validated;
+    }
+    writer.join();
+    if (lock.validate(lease)) ++validated;
+    EXPECT_TRUE(lock.validate(lease))
+        << "after all aborts completed, the lease must be valid again";
+    EXPECT_GT(validated, 0u);
+}
+
 // try_start_write must also exclude concurrent writers.
 TEST(OptimisticLockConcurrent, TryStartWriteExcludesWriters) {
     OptimisticReadWriteLock lock;
