@@ -2,7 +2,7 @@
 // (bump) allocator that the tree's never-free lifetime model enables
 // (node_allocator.h). Random insertion maximises split (allocation) rate.
 //
-//   ./build/bench/ablation_allocator [--n=1000000] [--threads=1,2,4]
+//   ./build/bench/ablation_allocator [--n=1000000] [--threads=1,2,4] [--json=FILE]
 
 #include "bench/common.h"
 
@@ -29,6 +29,7 @@ double run(const std::vector<Point>& pts, unsigned threads) {
 
 int main(int argc, char** argv) {
     dtree::util::Cli cli(argc, argv);
+    JsonReport report("ablation_allocator", cli);
     const std::size_t n = cli.get_u64("n", 1'000'000);
     const auto threads = cli.get_list("threads", {1, 2, 4});
 
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
             table.add("arena (bump)", run<arena_btree_set<Point>>(input, t));
         }
         table.print();
+        report.add_table(table);
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

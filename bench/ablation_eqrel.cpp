@@ -3,7 +3,7 @@
 // for a pair relation but O(k) union-find nodes — the reason Soufflé pairs
 // the specialized B-tree with a dedicated eqrel structure.
 //
-//   ./build/bench/ablation_eqrel [--classes=64] [--class_size=256]
+//   ./build/bench/ablation_eqrel [--classes=64] [--class_size=256] [--json=FILE]
 
 #include "bench/common.h"
 
@@ -64,5 +64,15 @@ int main(int argc, char** argv) {
     std::printf("%-18s %14.4f %14zu\n", "btree (pairs)", bt, bt_pairs);
     std::printf("%-18s %14.4f %14zu\n", "eqrel", eq, eq_pairs);
     std::printf("\nspeedup: %.0fx (and O(k) vs O(k^2) memory per class)\n", bt / eq);
-    return 0;
+
+    dtree::bench::JsonReport report("ablation_eqrel", cli);
+    report.add_section("closure", [&](dtree::json::Writer& w) {
+        w.begin_object();
+        w.kv("btree_seconds", bt);
+        w.kv("btree_pairs", bt_pairs);
+        w.kv("eqrel_seconds", eq);
+        w.kv("eqrel_pairs", eq_pairs);
+        w.end_object();
+    });
+    return report.write() ? 0 : 1;
 }

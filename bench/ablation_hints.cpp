@@ -3,7 +3,7 @@
 // the orderedness Datalog evaluation produces naturally; this bench shows
 // how the benefit decays as that orderedness is destroyed.
 //
-//   ./build/bench/ablation_hints [--n=1000000]
+//   ./build/bench/ablation_hints [--n=1000000] [--json=FILE]
 //
 // Sortedness levels: sorted, block-shuffled (sorted runs of K), random.
 
@@ -89,14 +89,32 @@ int main(int argc, char** argv) {
     std::printf("[ablation] operation hints vs input sortedness (%zu 2-D points)\n\n", n);
     std::printf("%-16s %12s %12s %12s %12s %12s\n", "sortedness", "ins M/s",
                 "re-ins M/s", "query M/s", "ins hit%", "query hit%");
+    std::vector<std::pair<std::string, Result>> results;
     for (const auto& lvl : levels) {
         const auto input = with_sortedness(base, lvl.run_len, 5);
         const Result r = measure(input);
+        results.emplace_back(lvl.name, r);
         std::printf("%-16s %12.2f %12.2f %12.2f %12.1f %12.1f\n", lvl.name,
                     r.insert_mops, r.reinsert_mops, r.query_mops,
                     100.0 * r.insert_hit_rate, 100.0 * r.query_hit_rate);
     }
     std::printf("\n(hints cost nothing when they miss and eliminate full root-to-leaf\n"
                 "traversals when they hit; Datalog workloads sit near the top rows)\n");
-    return 0;
+
+    JsonReport report("ablation_hints", cli);
+    report.add_section("sortedness", [&](json::Writer& w) {
+        w.begin_array();
+        for (const auto& [name, r] : results) {
+            w.begin_object();
+            w.kv("level", name);
+            w.kv("insert_mops", r.insert_mops);
+            w.kv("reinsert_mops", r.reinsert_mops);
+            w.kv("query_mops", r.query_mops);
+            w.kv("insert_hit_rate", r.insert_hit_rate);
+            w.kv("query_hit_rate", r.query_hit_rate);
+            w.end_object();
+        }
+        w.end_array();
+    });
+    return report.write() ? 0 : 1;
 }

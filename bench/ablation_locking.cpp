@@ -5,7 +5,7 @@
 //   * one global lock around a sequential tree,
 //   * no locking at all (sequential tree, 1 thread) as the upper bound.
 //
-//   ./build/bench/ablation_locking [--n=1000000] [--threads=1,2,4,8]
+//   ./build/bench/ablation_locking [--n=1000000] [--threads=1,2,4,8] [--json=FILE]
 
 #include "bench/common.h"
 
@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     dtree::util::Cli cli(argc, argv);
     const std::size_t n = cli.get_u64("n", 1'000'000);
     const auto threads = cli.get_list("threads", {1, 2, 4, 8});
+    JsonReport report("ablation_locking", cli);
 
     for (bool ordered : {true, false}) {
         util::SeriesTable table(std::string("[ablation] locking scheme, ") +
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
                       run(n, 1, ordered, [&](std::uint64_t k) { tree.insert(k); }));
         }
         table.print();
+        report.add_table(table);
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -2,7 +2,7 @@
 // ~512 bytes of key payload per node; this bench justifies that choice by
 // sweeping block sizes for ordered/random insertion and membership tests.
 //
-//   ./build/bench/ablation_node_size [--n=1000000]
+//   ./build/bench/ablation_node_size [--n=1000000] [--json=FILE]
 
 #include "bench/common.h"
 
@@ -70,5 +70,10 @@ int main(int argc, char** argv) {
     query.print();
     std::printf("\n(default block size for 16-byte tuples is %u keys/node)\n",
                 dtree::detail::default_block_size<Point>());
-    return 0;
+
+    JsonReport report("ablation_node_size", cli);
+    report.add_table(ins_o);
+    report.add_table(ins_r);
+    report.add_table(query);
+    return report.write() ? 0 : 1;
 }

@@ -1,7 +1,7 @@
 // Ablation: in-node search strategy (linear scan with the 3-way comparator
 // vs binary search) across node sizes — implementation note (2) of §3.
 //
-//   ./build/bench/ablation_search [--n=1000000]
+//   ./build/bench/ablation_search [--n=1000000] [--json=FILE]
 
 #include "bench/common.h"
 
@@ -49,5 +49,8 @@ int main(int argc, char** argv) {
     run<64>(pts, table);
     run<128>(pts, table);
     table.print();
-    return 0;
+
+    JsonReport report("ablation_search", cli);
+    report.add_table(table);
+    return report.write() ? 0 : 1;
 }

@@ -1,7 +1,7 @@
 // Reproduces Figure 3 (a-f): sequential performance of the performance-
 // critical set operations across all Table 1 data structures.
 //
-//   ./build/bench/fig3_sequential [--full] [--sides=1000,2000]
+//   ./build/bench/fig3_sequential [--full] [--sides=1000,2000] [--json=FILE]
 //
 // (a) insertion, ordered          [M inserts/s]
 // (b) insertion, random order     [M inserts/s]
@@ -47,7 +47,7 @@ struct Section {
     const char* metric;
 };
 
-void run_insert(const util::Cli& cli, bool ordered) {
+void run_insert(const util::Cli& cli, bool ordered, JsonReport& report) {
     const auto sides = grid_sides(cli);
     util::SeriesTable table(ordered ? "[fig 3a] sequential insertion (ordered), M inserts/s"
                                     : "[fig 3b] sequential insertion (random), M inserts/s",
@@ -68,9 +68,10 @@ void run_insert(const util::Cli& cli, bool ordered) {
         }
     });
     table.print();
+    report.add_table(table);
 }
 
-void run_membership(const util::Cli& cli, bool ordered) {
+void run_membership(const util::Cli& cli, bool ordered, JsonReport& report) {
     const auto sides = grid_sides(cli);
     util::SeriesTable table(
         ordered ? "[fig 3c] membership test (ordered), M queries/s"
@@ -95,9 +96,10 @@ void run_membership(const util::Cli& cli, bool ordered) {
         }
     });
     table.print();
+    report.add_table(table);
 }
 
-void run_scan(const util::Cli& cli, bool ordered_fill) {
+void run_scan(const util::Cli& cli, bool ordered_fill, JsonReport& report) {
     const auto sides = grid_sides(cli);
     util::SeriesTable table(
         ordered_fill ? "[fig 3e] full-range scan after ordered insert, M entries/s"
@@ -132,17 +134,19 @@ void run_scan(const util::Cli& cli, bool ordered_fill) {
             }
         });
     table.print();
+    report.add_table(table);
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
     dtree::util::Cli cli(argc, argv);
-    run_insert(cli, /*ordered=*/true);
-    run_insert(cli, /*ordered=*/false);
-    run_membership(cli, /*ordered=*/true);
-    run_membership(cli, /*ordered=*/false);
-    run_scan(cli, /*ordered_fill=*/true);
-    run_scan(cli, /*ordered_fill=*/false);
-    return 0;
+    JsonReport report("fig3_sequential", cli);
+    run_insert(cli, /*ordered=*/true, report);
+    run_insert(cli, /*ordered=*/false, report);
+    run_membership(cli, /*ordered=*/true, report);
+    run_membership(cli, /*ordered=*/false, report);
+    run_scan(cli, /*ordered_fill=*/true, report);
+    run_scan(cli, /*ordered_fill=*/false, report);
+    return report.write() ? 0 : 1;
 }

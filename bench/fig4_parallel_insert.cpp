@@ -1,6 +1,10 @@
 // Reproduces Figure 4 (a-d): parallel insertion throughput, strong scaling.
 //
 //   ./build/bench/fig4_parallel_insert [--full] [--n=2000000] [--threads=1,2,4,8]
+//                                      [--json=FILE] [--smoke]
+//
+// --json writes the machine-readable run record (see bench/common.h);
+// --smoke runs only the single-socket sections (CI smoke job).
 //
 // (a) ordered, single-socket thread counts {1..16}
 // (b) random,  single-socket thread counts {1..16}
@@ -70,7 +74,7 @@ double run_one(const std::vector<Point>& pts, unsigned threads) {
 }
 
 void run_section(const char* title, std::size_t n, bool ordered,
-                 const std::vector<unsigned>& threads) {
+                 const std::vector<unsigned>& threads, JsonReport& report) {
     util::SeriesTable table(title, "threads");
     std::vector<std::string> xs;
     for (unsigned t : threads) xs.push_back(std::to_string(t));
@@ -97,12 +101,14 @@ void run_section(const char* title, std::size_t n, bool ordered,
         table.add("TBB hashset", run_one<TbbLikeHashSetAdapter<Point>>(pts, t));
     }
     table.print();
+    report.add_table(table);
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
     dtree::util::Cli cli(argc, argv);
+    JsonReport report("fig4_parallel_insert", cli);
     const std::size_t n =
         cli.get_u64("n", cli.get_bool("full") ? 100'000'000ull : 2'000'000ull);
 
@@ -112,15 +118,17 @@ int main(int argc, char** argv) {
     char title[160];
     std::snprintf(title, sizeof(title),
                   "[fig 4a] parallel insertion (ordered, single socket), %zu elems, M inserts/s", n);
-    run_section(title, n, /*ordered=*/true, single);
+    run_section(title, n, /*ordered=*/true, single, report);
     std::snprintf(title, sizeof(title),
                   "[fig 4b] parallel insertion (random, single socket), %zu elems, M inserts/s", n);
-    run_section(title, n, /*ordered=*/false, single);
-    std::snprintf(title, sizeof(title),
-                  "[fig 4c] parallel insertion (ordered, multi socket), %zu elems, M inserts/s", n);
-    run_section(title, n, /*ordered=*/true, multi);
-    std::snprintf(title, sizeof(title),
-                  "[fig 4d] parallel insertion (random, multi socket), %zu elems, M inserts/s", n);
-    run_section(title, n, /*ordered=*/false, multi);
-    return 0;
+    run_section(title, n, /*ordered=*/false, single, report);
+    if (!cli.get_bool("smoke")) {
+        std::snprintf(title, sizeof(title),
+                      "[fig 4c] parallel insertion (ordered, multi socket), %zu elems, M inserts/s", n);
+        run_section(title, n, /*ordered=*/true, multi, report);
+        std::snprintf(title, sizeof(title),
+                      "[fig 4d] parallel insertion (random, multi socket), %zu elems, M inserts/s", n);
+        run_section(title, n, /*ordered=*/false, multi, report);
+    }
+    return report.write() ? 0 : 1;
 }

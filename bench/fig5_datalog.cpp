@@ -1,7 +1,7 @@
 // Reproduces Figure 5 (a, b): end-to-end Datalog evaluation runtime with
 // different relation data structures plugged into the soufflette engine.
 //
-//   ./build/bench/fig5_datalog [--full] [--scale=N] [--threads=1,2,4,8]
+//   ./build/bench/fig5_datalog [--full] [--scale=N] [--threads=1,2,4,8] [--json=FILE]
 //
 // (a) Doop-style context-insensitive var-points-to (insertion-heavy)
 // (b) EC2-style security reachability analysis (read-heavy)
@@ -36,7 +36,7 @@ double run_engine(const Workload& w, unsigned threads) {
 }
 
 void run_section(const char* title, const Workload& w,
-                 const std::vector<unsigned>& threads) {
+                 const std::vector<unsigned>& threads, JsonReport& report) {
     util::SeriesTable table(title, "threads");
     std::vector<std::string> xs;
     for (unsigned t : threads) xs.push_back(std::to_string(t));
@@ -52,6 +52,7 @@ void run_section(const char* title, const Workload& w,
     sweep.template operator()<storage::GoogleBTree>("google btree");
     sweep.template operator()<storage::TbbHashSet>("TBB hashset");
     table.print();
+    report.add_table(table);
 }
 
 } // namespace
@@ -70,14 +71,15 @@ int main(int argc, char** argv) {
     const Workload doop = make_doop_like(doop_scale, 7);
     const Workload ec2 = make_ec2_like(ec2_scale, 11);
 
+    JsonReport report("fig5_datalog", cli);
     char title[160];
     std::snprintf(title, sizeof(title),
                   "[fig 5a] var-points-to analysis (insertion heavy, scale %zu), runtime [s]",
                   doop_scale);
-    run_section(title, doop, threads);
+    run_section(title, doop, threads, report);
     std::snprintf(title, sizeof(title),
                   "[fig 5b] security vulnerability analysis (read heavy, scale %zu), runtime [s]",
                   ec2_scale);
-    run_section(title, ec2, threads);
-    return 0;
+    run_section(title, ec2, threads, report);
+    return report.write() ? 0 : 1;
 }

@@ -4,11 +4,17 @@
 // a validated optimistic read performs NO store, so the uncontended read
 // path must be in the same league as an unsynchronised load).
 //
-//   ./build/bench/micro_lock
+//   ./build/bench/micro_lock [--json=FILE] [google-benchmark flags]
+//
+// --json=FILE is sugar for --benchmark_out=FILE --benchmark_out_format=json,
+// so every bench binary shares one flag for machine-readable output.
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "core/optimistic_lock.h"
 #include "util/spinlock.h"
@@ -82,4 +88,25 @@ BENCHMARK(BM_UnsynchronisedRead);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    // Rewrite --json[=FILE] into google-benchmark's output flags before
+    // handing the command line over.
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        const char* a = argv[i];
+        if (std::strncmp(a, "--json=", 7) == 0) {
+            args.push_back(std::string("--benchmark_out=") + (a + 7));
+            args.push_back("--benchmark_out_format=json");
+        } else {
+            args.push_back(a);
+        }
+    }
+    std::vector<char*> cargs;
+    for (auto& s : args) cargs.push_back(s.data());
+    int cargc = static_cast<int>(cargs.size());
+    benchmark::Initialize(&cargc, cargs.data());
+    if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

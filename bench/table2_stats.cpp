@@ -2,7 +2,7 @@
 // real-world workload classes, plus the §4.3 operation-hint hit rates
 // (54%/52% for Doop at 1/16 threads; 77%/76% for the EC2 analysis).
 //
-//   ./build/bench/table2_stats [--full] [--scale=N]
+//   ./build/bench/table2_stats [--full] [--scale=N] [--json=FILE]
 
 #include "bench/common.h"
 
@@ -99,5 +99,19 @@ int main(int argc, char** argv) {
         std::printf("\n=== failpoint counters (DATATREE_FAILPOINTS build) ===\n\n");
         dtree::fail::report(std::cout);
     }
-    return 0;
+
+    dtree::bench::JsonReport report("table2_stats", cli);
+    auto workload_section = [](const Row& r) {
+        return [&r](dtree::json::Writer& w) {
+            w.begin_object();
+            w.key("stats");
+            r.stats.write_json(w);
+            w.kv("hint_rate_1t", r.hint_rate_1t);
+            w.kv("hint_rate_16t", r.hint_rate_16t);
+            w.end_object();
+        };
+    };
+    report.add_section("doop_like", workload_section(d));
+    report.add_section("ec2_like", workload_section(e));
+    return report.write() ? 0 : 1;
 }

@@ -3,7 +3,7 @@
 // (simplified re-implementations of) PALM tree, Masstree and B-slack tree —
 // at 1/2/4/8 threads, ordered and random key order.
 //
-//   ./build/bench/table3_trees [--full] [--n=1000000] [--threads=1,2,4,8]
+//   ./build/bench/table3_trees [--full] [--n=1000000] [--threads=1,2,4,8] [--json=FILE]
 //
 // Expected shape: B-tree > Masstree > B-slack > PALM in absolute throughput;
 // PALM stays flat with threads (batch-queue bound); the others scale.
@@ -72,6 +72,12 @@ int main(int argc, char** argv) {
     std::printf("%8s %20s %20s %20s %20s\n", "Threads", "B-tree", "PALM tree",
                 "Masstree", "B-slack");
 
+    struct Record {
+        unsigned threads;
+        double mops[4][2]; // [tree][ordered, random]
+    };
+    std::vector<Record> records;
+
     for (unsigned t : threads) {
         double results[4][2];
         for (int ordered = 1; ordered >= 0; --ordered) {
@@ -102,8 +108,31 @@ int main(int argc, char** argv) {
         std::printf("%8u %10.2f/%-9.2f %10.2f/%-9.2f %10.2f/%-9.2f %10.2f/%-9.2f\n", t,
                     results[0][0], results[0][1], results[1][0], results[1][1],
                     results[2][0], results[2][1], results[3][0], results[3][1]);
+        Record rec;
+        rec.threads = t;
+        for (int i = 0; i < 4; ++i) {
+            rec.mops[i][0] = results[i][0];
+            rec.mops[i][1] = results[i][1];
+        }
+        records.push_back(rec);
     }
     std::printf("\n(paper, 10^7 keys: B-tree 17.5/2.91 .. 97.19/16.97; PALM ~0.4 flat;\n"
                 " Masstree 5.99/1.90 .. 36.38/11.41; B-slack 2.73/1.09 .. 11.29/4.84)\n");
-    return 0;
+
+    JsonReport report("table3_trees", cli);
+    report.add_section("results", [&](json::Writer& w) {
+        static const char* tree_names[4] = {"btree", "palm", "masstree", "bslack"};
+        w.begin_array();
+        for (const auto& rec : records) {
+            w.begin_object();
+            w.kv("threads", rec.threads);
+            for (int i = 0; i < 4; ++i) {
+                w.kv(std::string(tree_names[i]) + "_ordered_mops", rec.mops[i][0]);
+                w.kv(std::string(tree_names[i]) + "_random_mops", rec.mops[i][1]);
+            }
+            w.end_object();
+        }
+        w.end_array();
+    });
+    return report.write() ? 0 : 1;
 }

@@ -7,18 +7,24 @@
 // Input relations (`.decl r(...) input`) are loaded from DIR/r.facts
 // (tab-separated unsigned integers, one tuple per line); output relations
 // are written to DIR/r.csv. --stats prints Table-2-style statistics.
+// --profile prints a per-rule breakdown; --profile=FILE additionally writes
+// a machine-readable JSON record {runtime, stats, profile, metrics} to FILE
+// (Soufflé-profiler style).
 //
 // Try it on the bundled example:
-//   ./build/examples/soufflette examples/programs/reachability.dl \
+//   ./build/examples/soufflette examples/programs/reachability.dl
 //       --facts=examples/programs/reachability_facts --output=/tmp --stats
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 
 #include "datalog/io.h"
 #include "datalog/program.h"
 #include "util/cli.h"
+#include "util/json.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
@@ -27,7 +33,7 @@ int main(int argc, char** argv) {
     if (argc < 2 || argv[1][0] == '-') {
         std::fprintf(stderr,
                      "usage: %s <program.dl> [--facts=DIR] [--output=DIR] "
-                     "[--jobs=N] [--stats]\n",
+                     "[--jobs=N] [--stats] [--profile[=FILE]]\n",
                      argv[0]);
         return 2;
     }
@@ -52,8 +58,8 @@ int main(int argc, char** argv) {
 
         dtree::util::Timer timer;
         engine.run(jobs);
-        std::printf("evaluation finished in %.3f s on %u job(s)\n", timer.elapsed_s(),
-                    jobs);
+        const double runtime_s = timer.elapsed_s();
+        std::printf("evaluation finished in %.3f s on %u job(s)\n", runtime_s, jobs);
 
         for (const auto& decl : prog.decls) {
             if (!decl.is_output) continue;
@@ -66,10 +72,40 @@ int main(int argc, char** argv) {
         if (cli.get_bool("profile")) {
             std::printf("\n-- rule profile (hottest first) --\n");
             for (const auto& p : engine.profile()) {
-                std::printf("%8.3f s  %6llu evals  %s%s (rule #%zu)\n", p.seconds,
+                std::printf("%8.3f s  %6llu evals  %8llu tuples  %s%s (rule #%zu)\n",
+                            p.seconds,
                             static_cast<unsigned long long>(p.evaluations),
+                            static_cast<unsigned long long>(p.tuples),
                             p.head.c_str(), p.recursive ? " [recursive]" : "",
                             p.rule_index);
+            }
+
+            // --profile=FILE (anything but a bare boolean): also emit the
+            // machine-readable record.
+            const std::string profile_path = cli.get_str("profile", "");
+            if (profile_path != "1" && !profile_path.empty()) {
+                std::ofstream os(profile_path);
+                if (!os) {
+                    std::fprintf(stderr, "cannot open %s for writing\n",
+                                 profile_path.c_str());
+                    return 1;
+                }
+                dtree::json::Writer w(os);
+                w.begin_object();
+                w.kv("program", program_path);
+                w.kv("jobs", jobs);
+                w.kv("runtime_seconds", runtime_s);
+                w.key("stats");
+                engine.stats().write_json(w);
+                w.key("profile");
+                w.begin_array();
+                for (const auto& p : engine.profile()) p.write_json(w);
+                w.end_array();
+                w.kv("metrics_enabled", dtree::metrics::enabled());
+                w.key("metrics");
+                dtree::metrics::snapshot().write_json(w);
+                w.end_object();
+                std::printf("wrote profile to %s\n", profile_path.c_str());
             }
         }
 

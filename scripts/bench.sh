@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Regenerates the machine-readable benchmark records checked in at the repo
+# root (BENCH_fig3.json, BENCH_fig4.json, BENCH_table2.json) from a dedicated
+# metrics-enabled build tree. The default build stays metrics-free — the
+# DTREE_METRIC_* macros fold to nothing there (see src/util/metrics.h) — so
+# this script configures its own build-metrics/ with -DDATATREE_METRICS=ON
+# and never touches build/.
+#
+# Usage: scripts/bench.sh [--smoke|--full]
+#   (none)   quick mode: the benches' default sizes (~a minute)
+#   --smoke  CI-sized runs (seconds) — used by the smoke-bench CI job
+#   --full   paper-scale runs (hours on a laptop; see EXPERIMENTS.md)
+#
+# Env: JOBS=<n>     build parallelism        (default: nproc)
+#      OUT_DIR=<d>  where BENCH_*.json land  (default: repo root)
+#
+# After each run the emitted JSON is validated (python3, when available):
+# it must parse, and the fig4 record — the multi-threaded one — must show
+# nonzero split, hint-hit, and lock-validation-failure counters, i.e. the
+# instrumentation actually observed concurrent tree growth.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+OUT_DIR="${OUT_DIR:-.}"
+MODE=quick
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) MODE=smoke ;;
+    --full)  MODE=full ;;
+    *) echo "usage: scripts/bench.sh [--smoke|--full]" >&2; exit 2 ;;
+  esac
+done
+
+BUILD=build-metrics
+echo "== configuring $BUILD (DATATREE_METRICS=ON, mode: $MODE) =="
+cmake -B "$BUILD" -S . -DDATATREE_METRICS=ON >/dev/null
+cmake --build "$BUILD" -j"$JOBS" \
+  --target fig3_sequential fig4_parallel_insert table2_stats
+
+case "$MODE" in
+  smoke)
+    # Sized so the whole suite finishes in well under a minute on one core
+    # while still splitting nodes and racing threads (fig4: 2 sections x
+    # {1,2,4} threads x 5 structures over 300k tuples each).
+    FIG3_ARGS=(--sides=200,400)
+    FIG4_ARGS=(--smoke --n=300000 --threads=1,2,4)
+    TABLE2_ARGS=(--scale=400)
+    ;;
+  quick)
+    FIG3_ARGS=()
+    FIG4_ARGS=(--smoke)
+    TABLE2_ARGS=()
+    ;;
+  full)
+    FIG3_ARGS=(--full)
+    FIG4_ARGS=(--full)
+    TABLE2_ARGS=(--full)
+    ;;
+esac
+
+run() { # run <bench-binary> <output-name> [args...]
+  local bin=$1 out=$2
+  shift 2
+  echo "== $bin $* -> $out =="
+  "./$BUILD/bench/$bin" "$@" --json="$OUT_DIR/$out"
+}
+
+run fig3_sequential     BENCH_fig3.json   "${FIG3_ARGS[@]}"
+run fig4_parallel_insert BENCH_fig4.json  "${FIG4_ARGS[@]}"
+run table2_stats        BENCH_table2.json "${TABLE2_ARGS[@]}"
+
+if command -v python3 >/dev/null 2>&1; then
+  echo "== validating emitted JSON =="
+  python3 - "$OUT_DIR" <<'EOF'
+import json, sys
+out = sys.argv[1]
+records = {}
+for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_table2.json"):
+    with open(f"{out}/{name}") as f:
+        records[name] = json.load(f)
+    print(f"   {name}: parses ok")
+
+fig4 = records["BENCH_fig4.json"]
+assert fig4["metrics_enabled"], "bench.sh must run a metrics-enabled build"
+m = fig4["metrics"]
+# The multi-threaded insert sweep must have grown trees (splits), used the
+# operation hints, and actually contended on the optimistic locks.
+for counter in ("btree_leaf_splits", "btree_root_replacements",
+                "hint_hits_insert", "lock_validations_failed"):
+    assert m.get(counter, 0) > 0, f"fig4 counter {counter} is zero"
+    print(f"   fig4 {counter} = {m[counter]}")
+EOF
+else
+  echo "== python3 not found: skipping JSON validation =="
+fi
+
+echo "== bench records written to $OUT_DIR =="

@@ -40,6 +40,7 @@
 #include "core/optimistic_lock.h"
 #include "core/race_access.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 namespace dtree {
 
@@ -244,7 +245,12 @@ public:
 
     const_iterator find(const Key& k, operation_hints& hints) const {
         const NodeT* cur = root_.load();
-        if (!cur) return end();
+        // Table 2 definition: every hinted operation is a hit or a miss, so a
+        // cold (empty) hint slot — and an empty tree — count as misses too.
+        if (!cur) {
+            hints.stats.miss(HintKind::Contains);
+            return end();
+        }
         if (NodeT* leaf = hints.get(HintKind::Contains)) {
             if (leaf_covers(leaf, k)) {
                 hints.stats.hit(HintKind::Contains);
@@ -255,8 +261,8 @@ public:
                 }
                 return end(); // the covering leaf would have to contain it
             }
-            hints.stats.miss(HintKind::Contains);
         }
+        hints.stats.miss(HintKind::Contains);
         for (;;) {
             const unsigned n = cur->num_elements.load();
             const unsigned pos = Search::template lower<Access>(cur->keys, n, k, comp_);
@@ -280,18 +286,27 @@ public:
 
     const_iterator lower_bound(const Key& k, operation_hints& hints) const {
         const NodeT* cur = root_.load();
-        if (!cur) return end();
+        if (!cur) {
+            hints.stats.miss(HintKind::Lower);
+            return end();
+        }
         if (NodeT* leaf = hints.get(HintKind::Lower)) {
             const unsigned n = leaf->num_elements.load();
-            // k strictly inside the leaf's range => the answer is in the leaf
-            if (n > 0 && comp_(Access::load(leaf->keys[0]), k) <= 0 &&
+            // k inside the leaf's range => the answer is in the leaf. For
+            // multisets the left edge must be STRICT: if keys[0] == k, the
+            // first duplicate of k may live in an earlier leaf, and answering
+            // from this one would return a mid-run iterator (mirrors the
+            // strict right edge upper_bound uses for the symmetric reason).
+            if (n > 0 &&
+                (AllowDuplicates ? comp_(Access::load(leaf->keys[0]), k) < 0
+                                 : comp_(Access::load(leaf->keys[0]), k) <= 0) &&
                 comp_(k, Access::load(leaf->keys[n - 1])) <= 0) {
                 hints.stats.hit(HintKind::Lower);
                 const unsigned pos = Search::template lower<Access>(leaf->keys, n, k, comp_);
                 return const_iterator(leaf, pos);
             }
-            hints.stats.miss(HintKind::Lower);
         }
+        hints.stats.miss(HintKind::Lower);
         const_iterator best = end();
         for (;;) {
             const unsigned n = cur->num_elements.load();
@@ -323,7 +338,10 @@ public:
 
     const_iterator upper_bound(const Key& k, operation_hints& hints) const {
         const NodeT* cur = root_.load();
-        if (!cur) return end();
+        if (!cur) {
+            hints.stats.miss(HintKind::Upper);
+            return end();
+        }
         if (NodeT* leaf = hints.get(HintKind::Upper)) {
             const unsigned n = leaf->num_elements.load();
             // need k < last key so the strictly-greater element is local
@@ -333,8 +351,8 @@ public:
                 const unsigned pos = Search::template upper<Access>(leaf->keys, n, k, comp_);
                 return const_iterator(leaf, pos);
             }
-            hints.stats.miss(HintKind::Upper);
         }
+        hints.stats.miss(HintKind::Upper);
         const_iterator best = end();
         for (;;) {
             const unsigned n = cur->num_elements.load();
@@ -399,6 +417,23 @@ private:
     // -- sequential insertion -----------------------------------------------
 
     bool insert_sequential(const Key& k, operation_hints& hints) {
+        // Tally the hint outcome exactly once per logical insert (the
+        // post-split re-run below must not count again): cold/empty slots
+        // and the empty tree are misses, per the Table 2 definition.
+        NodeT* start = nullptr;
+        if (NodeT* h = root_.load() ? hints.get(HintKind::Insert) : nullptr;
+            h && leaf_covers(h, k)) {
+            hints.stats.hit(HintKind::Insert);
+            start = h;
+        } else {
+            hints.stats.miss(HintKind::Insert);
+        }
+        return insert_sequential_from(k, hints, start);
+    }
+
+    /// The actual sequential descent; `start` short-circuits to a hinted
+    /// leaf already known to cover k (nullptr = descend from the root).
+    bool insert_sequential_from(const Key& k, operation_hints& hints, NodeT* start) {
         NodeT* cur = root_.load();
         if (!cur) {
             NodeT* leaf = alloc_.make_leaf();
@@ -408,15 +443,7 @@ private:
             hints.set(HintKind::Insert, leaf);
             return true;
         }
-
-        if (NodeT* h = hints.get(HintKind::Insert)) {
-            if (leaf_covers(h, k)) {
-                hints.stats.hit(HintKind::Insert);
-                cur = h;
-            } else {
-                hints.stats.miss(HintKind::Insert);
-            }
-        }
+        if (start) cur = start;
 
         unsigned pos;
         for (;;) {
@@ -436,7 +463,7 @@ private:
             split_and_propagate(cur);
             // The leaf's key range halved; simply re-run the insert (the
             // concurrent path restarts in exactly the same way).
-            return insert_sequential(k, hints);
+            return insert_sequential_from(k, hints, nullptr);
         }
 
         const unsigned n = cur->num_elements.load();
@@ -465,27 +492,34 @@ private:
                 leaf->num_elements.store(1);
                 root_.store_release(leaf);
                 root_lock_.end_write();
+                hints.stats.miss(HintKind::Insert); // cold slot on first insert
                 hints.set(HintKind::Insert, leaf);
                 return true;
             }
             root_lock_.abort_write(); // lost the race; nothing modified
         }
 
-        // Hint fast path (§3.2): jump straight to the cached leaf.
+        // Hint fast path (§3.2): jump straight to the cached leaf. A cold
+        // (empty) slot counts as a miss — Table 2's hit rate is hits over
+        // ALL hinted operations, not just those with a populated slot.
         if (NodeT* leaf = hints.get(HintKind::Insert)) {
             const Lease lease = leaf->lock.start_read();
             if (leaf_covers(leaf, k) && leaf->lock.validate(lease)) {
                 hints.stats.hit(HintKind::Insert);
                 const LeafResult r = leaf_insert(leaf, lease, k, hints);
                 if (r != LeafResult::Retry) return r == LeafResult::Inserted;
+                DTREE_METRIC_INC(btree_leaf_retries);
             } else {
                 hints.stats.miss(HintKind::Insert);
             }
+        } else {
+            hints.stats.miss(HintKind::Insert);
         }
 
         for (;;) {
             const std::optional<bool> done = try_insert_from_root(k, hints);
             if (done) return *done;
+            DTREE_METRIC_INC(btree_restarts);
         }
     }
 
@@ -531,7 +565,9 @@ private:
             switch (r) {
                 case LeafResult::Inserted: return true;
                 case LeafResult::Duplicate: return false;
-                case LeafResult::Retry: return std::nullopt;
+                case LeafResult::Retry:
+                    DTREE_METRIC_INC(btree_leaf_retries);
+                    return std::nullopt;
             }
         }
     }
@@ -649,6 +685,11 @@ private:
     void split_and_propagate(NodeT* node, NodeT** created = nullptr,
                              unsigned* n_created = nullptr) {
         assert(node->full());
+        if (node->inner) {
+            DTREE_METRIC_INC(btree_inner_splits);
+        } else {
+            DTREE_METRIC_INC(btree_leaf_splits);
+        }
         constexpr unsigned mid = BlockSize / 2;
         const Key median = node->keys[mid]; // we are the only writer: plain read
 
@@ -704,6 +745,7 @@ private:
             sibling->parent.store_release(new_root);
             sibling->position.store(1);
             root_.store_release(new_root);
+            DTREE_METRIC_INC(btree_root_replacements);
             return;
         }
         if (parent->full()) {

@@ -13,6 +13,9 @@
 #include <cstdint>
 #include <ostream>
 
+#include "util/json.h"
+#include "util/metrics.h"
+
 namespace dtree {
 
 /// Which operation a hint slot serves. Each of the four most frequent
@@ -24,8 +27,25 @@ struct HintStats {
     std::uint64_t hits[4] = {0, 0, 0, 0};
     std::uint64_t misses[4] = {0, 0, 0, 0};
 
-    void hit(HintKind k) { ++hits[static_cast<unsigned>(k)]; }
-    void miss(HintKind k) { ++misses[static_cast<unsigned>(k)]; }
+    // Besides the per-object tally, every hit/miss is mirrored into the
+    // process-wide metrics registry (hint_hits_* / hint_misses_* are laid
+    // out in HintKind order) so BENCH_*.json carries aggregate hint rates
+    // without threading HintStats objects through every harness. Folds to
+    // the plain increment when DATATREE_METRICS is off.
+    void hit(HintKind k) {
+        ++hits[static_cast<unsigned>(k)];
+        metrics::add(static_cast<metrics::Counter>(
+                         static_cast<unsigned>(metrics::Counter::hint_hits_insert) +
+                         static_cast<unsigned>(k)),
+                     1);
+    }
+    void miss(HintKind k) {
+        ++misses[static_cast<unsigned>(k)];
+        metrics::add(static_cast<metrics::Counter>(
+                         static_cast<unsigned>(metrics::Counter::hint_misses_insert) +
+                         static_cast<unsigned>(k)),
+                     1);
+    }
 
     std::uint64_t total_hits() const {
         return hits[0] + hits[1] + hits[2] + hits[3];
@@ -46,6 +66,20 @@ struct HintStats {
             misses[i] += o.misses[i];
         }
         return *this;
+    }
+
+    /// Same reporting shape as a metrics Snapshot section: one flat object
+    /// {"<op>_hits": n, "<op>_misses": n, ..., "hit_rate": r}.
+    void write_json(json::Writer& w) const {
+        static const char* names[4] = {"insert", "contains", "lower_bound",
+                                       "upper_bound"};
+        w.begin_object();
+        for (int i = 0; i < 4; ++i) {
+            w.kv(std::string(names[i]) + "_hits", hits[i]);
+            w.kv(std::string(names[i]) + "_misses", misses[i]);
+        }
+        w.kv("hit_rate", hit_rate());
+        w.end_object();
     }
 
     friend std::ostream& operator<<(std::ostream& os, const HintStats& s) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/btree_detail.h"
+#include "util/metrics.h"
 #include "util/spinlock.h"
 
 namespace dtree {
@@ -26,8 +27,14 @@ struct NewDeleteNodeAlloc {
     using NodeT = detail::Node<Key, BlockSize, Access>;
     using InnerT = detail::InnerNode<Key, BlockSize, Access>;
 
-    NodeT* make_leaf() { return new NodeT(/*is_inner=*/false); }
-    InnerT* make_inner() { return new InnerT(); }
+    NodeT* make_leaf() {
+        DTREE_METRIC_INC(alloc_leaf_nodes);
+        return new NodeT(/*is_inner=*/false);
+    }
+    InnerT* make_inner() {
+        DTREE_METRIC_INC(alloc_inner_nodes);
+        return new InnerT();
+    }
 
     /// Frees the whole tree below (and including) root.
     void release(NodeT* root) { detail::free_subtree(root); }
@@ -62,11 +69,13 @@ public:
     }
 
     NodeT* make_leaf() {
+        DTREE_METRIC_INC(alloc_leaf_nodes);
         void* mem = allocate(sizeof(NodeT), alignof(NodeT));
         return ::new (mem) NodeT(/*is_inner=*/false);
     }
 
     InnerT* make_inner() {
+        DTREE_METRIC_INC(alloc_inner_nodes);
         void* mem = allocate(sizeof(InnerT), alignof(InnerT));
         return ::new (mem) InnerT();
     }
@@ -92,8 +101,10 @@ private:
         if (chunks_.empty() || offset + bytes > kChunkBytes) {
             chunks_.push_back(std::make_unique<std::byte[]>(kChunkBytes));
             offset = 0;
+            DTREE_METRIC_INC(arena_chunks);
         }
         used_ = offset + bytes;
+        DTREE_METRIC_ADD(arena_bytes, bytes);
         return chunks_.back().get() + offset;
     }
 

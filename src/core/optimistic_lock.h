@@ -31,6 +31,7 @@
 #include <cstdint>
 
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <immintrin.h>
@@ -80,7 +81,9 @@ public:
         // retry path, which the protocol must tolerate anyway.
         if (DTREE_FAILPOINT(validate_fail)) return false;
         std::atomic_thread_fence(std::memory_order_acquire);
-        return version_.load(std::memory_order_relaxed) == lease.version;
+        if (version_.load(std::memory_order_relaxed) == lease.version) return true;
+        DTREE_METRIC_INC(lock_validations_failed);
+        return false;
     }
 
     /// Ends a read phase; equivalent to a final validation.
@@ -94,9 +97,13 @@ public:
         if (DTREE_FAILPOINT(upgrade_fail)) return false;
         std::uint64_t expected = lease.version;
         assert((expected & 1u) == 0 && "lease versions are always even");
-        return version_.compare_exchange_strong(expected, expected + 1,
-                                                std::memory_order_acq_rel,
-                                                std::memory_order_relaxed);
+        if (version_.compare_exchange_strong(expected, expected + 1,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+            return true;
+        }
+        DTREE_METRIC_INC(lock_upgrades_lost);
+        return false;
     }
 
     /// Attempts to enter a write phase directly; non-blocking.
@@ -112,7 +119,10 @@ public:
     /// only blocking operation of the lock; it is used by the bottom-up node
     /// splitting procedure (Alg. 2).
     void start_write() {
-        while (!try_start_write()) cpu_relax();
+        while (!try_start_write()) {
+            DTREE_METRIC_INC(lock_write_spins);
+            cpu_relax();
+        }
     }
 
     /// Ends a write phase, publishing all modifications: version becomes even

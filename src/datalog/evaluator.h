@@ -23,6 +23,7 @@
 // lets reads run unsynchronised.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -30,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 #include "datalog/ast.h"
@@ -50,6 +53,23 @@ struct EngineStats {
     std::uint64_t input_tuples = 0;
     std::uint64_t produced_tuples = 0;
     std::uint64_t iterations = 0; ///< total fixpoint iterations across strata
+
+    /// One flat object — the `stats` section of soufflette --profile=FILE.
+    void write_json(json::Writer& w) const {
+        w.begin_object();
+        w.kv("relations", relations);
+        w.kv("rules", rules);
+        w.kv("inserts", ops.inserts);
+        w.kv("membership_tests", ops.membership_tests);
+        w.kv("lower_bound_calls", ops.lower_bound_calls);
+        w.kv("upper_bound_calls", ops.upper_bound_calls);
+        w.kv("input_tuples", input_tuples);
+        w.kv("produced_tuples", produced_tuples);
+        w.kv("fixpoint_iterations", iterations);
+        w.key("hints");
+        hints.write_json(w);
+        w.end_object();
+    }
 };
 
 /// Per-rule profile (Soufflé-profiler style): where did the fixpoint spend
@@ -59,7 +79,19 @@ struct RuleProfile {
     std::size_t rule_index;  ///< index into the program's rules
     bool recursive = false;
     std::uint64_t evaluations = 0;
+    std::uint64_t tuples = 0; ///< genuinely new head tuples this rule derived
     double seconds = 0;
+
+    void write_json(json::Writer& w) const {
+        w.begin_object();
+        w.kv("head", head);
+        w.kv("rule_index", rule_index);
+        w.kv("recursive", recursive);
+        w.kv("evaluations", evaluations);
+        w.kv("tuples", tuples);
+        w.kv("seconds", seconds);
+        w.end_object();
+    }
 };
 
 template <typename Storage>
@@ -214,6 +246,7 @@ private:
         // Phase 3: fixpoint.
         for (;;) {
             ++iterations_;
+            DTREE_METRIC_INC(datalog_fixpoint_iterations);
             bool any_delta = false;
             for (std::size_t rel : stratum.relations) {
                 if (!delta[rel]->empty()) any_delta = true;
@@ -257,6 +290,7 @@ private:
     /// Parallel merge of a NEW relation into FULL; sorted iteration order
     /// makes this the hint-friendly specialised merge of §3.
     void merge_into_full(std::size_t rel, RelationT& nw) {
+        DTREE_METRIC_TIMER(datalog_merge_ns);
         std::vector<StorageTuple> tuples;
         nw.for_each([&](const StorageTuple& t) { tuples.push_back(t); });
         util::parallel_blocks(tuples.size(), effective_threads(tuples.size()),
@@ -278,18 +312,26 @@ private:
     /// inserted into NEW (recursive) or directly into FULL (non-recursive).
     /// RAII profiling scope: accumulates wall time + evaluation count.
     struct ProfileScope {
+        explicit ProfileScope(RuleProfile& profile) : p(profile) {}
         RuleProfile& p;
+        /// New head tuples derived during this evaluation; worker threads
+        /// accumulate privately and add here once, on exit.
+        std::atomic<std::uint64_t> derived{0};
         util::Timer timer;
         ~ProfileScope() {
             p.seconds += timer.elapsed_s();
             ++p.evaluations;
+            const std::uint64_t n = derived.load(std::memory_order_relaxed);
+            p.tuples += n;
+            DTREE_METRIC_ADD(datalog_tuples_derived, n);
         }
     };
 
     void evaluate_rule(std::size_t rule_idx, int delta_atom,
                        std::map<std::size_t, std::unique_ptr<RelationT>>* delta,
                        std::map<std::size_t, std::unique_ptr<RelationT>>* fresh) {
-        ProfileScope profile_scope{profile_[rule_idx]};
+        DTREE_METRIC_TIMER(datalog_rule_eval_ns);
+        ProfileScope profile_scope(profile_[rule_idx]);
         const CompiledRule& cr = compiled_[rule_idx];
         const std::size_t head_rel = cr.head.relation;
 
@@ -303,7 +345,9 @@ private:
             auto head_full = relations_[head_rel]->local_view(0);
             StorageTuple t{};
             for (unsigned c = 0; c < cr.head.arity; ++c) t[c] = cr.head.cols[c].constant;
-            head_full.insert(t);
+            if (head_full.insert(t)) {
+                profile_scope.derived.fetch_add(1, std::memory_order_relaxed);
+            }
             return;
         }
 
@@ -321,7 +365,10 @@ private:
                                           new_rel->local_view(0))
                                     : nullptr;
             std::array<Value, 32> env{};
-            join_from(rule_idx, cr, 0, env, body_views, head_full, head_new.get());
+            std::uint64_t derived = 0;
+            join_from(rule_idx, cr, 0, env, body_views, head_full, head_new.get(),
+                      derived);
+            profile_scope.derived.fetch_add(derived, std::memory_order_relaxed);
             return;
         }
 
@@ -353,11 +400,14 @@ private:
                                     : nullptr;
 
             std::array<Value, 32> env{};
+            std::uint64_t derived = 0;
             for (std::size_t i = b; i < e; ++i) {
                 if (!bind_atom(cr.body[0], outer[i], env)) continue;
                 if (!constraints_hold(cr, 0, env)) continue;
-                join_from(rule_idx, cr, 1, env, body_views, head_full, head_new.get());
+                join_from(rule_idx, cr, 1, env, body_views, head_full, head_new.get(),
+                          derived);
             }
+            profile_scope.derived.fetch_add(derived, std::memory_order_relaxed);
         });
     }
 
@@ -436,7 +486,7 @@ private:
                    std::array<Value, 32>& env,
                    std::vector<typename RelationT::LocalView>& body_views,
                    typename RelationT::LocalView& head_full,
-                   typename RelationT::LocalView* head_new) {
+                   typename RelationT::LocalView* head_new, std::uint64_t& derived) {
         if (atom_idx == cr.body.size()) {
             StorageTuple t{};
             for (unsigned c = 0; c < cr.head.arity; ++c) {
@@ -445,9 +495,9 @@ private:
             }
             if (head_new) {
                 // Recursive variant: only genuinely new tuples enter NEW.
-                if (!head_full.contains(t)) head_new->insert(t);
+                if (!head_full.contains(t) && head_new->insert(t)) ++derived;
             } else {
-                head_full.insert(t);
+                if (head_full.insert(t)) ++derived;
             }
             return;
         }
@@ -466,7 +516,8 @@ private:
             }
             const bool present = view.contains(probe);
             if (present == atom.negated) return;
-            join_from(rule_idx, cr, atom_idx + 1, env, body_views, head_full, head_new);
+            join_from(rule_idx, cr, atom_idx + 1, env, body_views, head_full, head_new,
+                      derived);
             return;
         }
 
@@ -474,7 +525,8 @@ private:
         auto process = [&](const StorageTuple& t) {
             if (!bind_atom(atom, t, env)) return;
             if (!constraints_hold(cr, static_cast<int>(atom_idx), env)) return;
-            join_from(rule_idx, cr, atom_idx + 1, env, body_views, head_full, head_new);
+            join_from(rule_idx, cr, atom_idx + 1, env, body_views, head_full, head_new,
+                      derived);
         };
         if constexpr (Storage::ordered) {
             if (!plan.full_scan) {

@@ -58,6 +58,10 @@ public:
         return it->second;
     }
 
+    /// Every parsed flag, name -> value ("1" for bare booleans). Used by the
+    /// bench JSON reports to record the exact configuration of a run.
+    const std::map<std::string, std::string>& flags() const { return flags_; }
+
     /// Comma-separated unsigned list, e.g. --threads=1,2,4,8.
     std::vector<unsigned> get_list(const std::string& name,
                                    std::vector<unsigned> def) const {

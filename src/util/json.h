@@ -1,0 +1,213 @@
+#pragma once
+
+// Tiny dependency-free JSON writer for machine-readable bench/profile output
+// (BENCH_*.json, soufflette --profile=FILE). Write-only by design: the repo
+// never needs to *parse* JSON, only to emit records a harness script or a
+// plotting notebook can load, so a streaming writer with a structure stack
+// is all there is. Guarantees syntactically valid output for any call
+// sequence that balances begin/end and alternates key/value inside objects
+// (assert-checked in debug builds); strings are escaped per RFC 8259 and
+// non-finite doubles are emitted as null (JSON has no NaN/Inf).
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace dtree::json {
+
+/// Escapes a string for embedding between JSON double quotes.
+inline std::string escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (c < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += static_cast<char>(c);
+                }
+        }
+    }
+    return out;
+}
+
+/// Streaming writer: begin_object/begin_array open a scope, key() names the
+/// next member, value() emits a scalar. Commas and (two-space) indentation
+/// are inserted automatically.
+class Writer {
+public:
+    explicit Writer(std::ostream& os, bool pretty = true) : os_(os), pretty_(pretty) {}
+
+    Writer& begin_object() {
+        prefix();
+        os_ << '{';
+        push(/*is_array=*/false);
+        return *this;
+    }
+
+    Writer& end_object() {
+        assert(depth_ > 0 && !frames_[depth_ - 1].is_array);
+        pop('}');
+        return *this;
+    }
+
+    Writer& begin_array() {
+        prefix();
+        os_ << '[';
+        push(/*is_array=*/true);
+        return *this;
+    }
+
+    Writer& end_array() {
+        assert(depth_ > 0 && frames_[depth_ - 1].is_array);
+        pop(']');
+        return *this;
+    }
+
+    /// Names the next member of the enclosing object.
+    Writer& key(std::string_view k) {
+        assert(depth_ > 0 && !frames_[depth_ - 1].is_array && !key_pending_);
+        separate();
+        indent();
+        os_ << '"' << escape(k) << (pretty_ ? "\": " : "\":");
+        key_pending_ = true;
+        return *this;
+    }
+
+    Writer& value(std::string_view v) {
+        prefix();
+        os_ << '"' << escape(v) << '"';
+        return *this;
+    }
+    Writer& value(const char* v) { return value(std::string_view(v)); }
+    Writer& value(const std::string& v) { return value(std::string_view(v)); }
+
+    Writer& value(bool v) {
+        prefix();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+
+    Writer& value(double v) {
+        prefix();
+        if (!std::isfinite(v)) {
+            os_ << "null"; // JSON has no NaN/Infinity
+        } else {
+            char buf[40];
+            std::snprintf(buf, sizeof(buf), "%.17g", v);
+            os_ << buf;
+        }
+        return *this;
+    }
+
+    /// Any integer type (bool and char types go through their own overloads;
+    /// fixed-width aliases differ across platforms, so overloading on them
+    /// collides — a constrained template sidesteps that).
+    template <typename T>
+        requires(std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+                 !std::is_same_v<T, char>)
+    Writer& value(T v) {
+        prefix();
+        if constexpr (std::is_signed_v<T>) {
+            os_ << static_cast<long long>(v);
+        } else {
+            os_ << static_cast<unsigned long long>(v);
+        }
+        return *this;
+    }
+
+    Writer& null() {
+        prefix();
+        os_ << "null";
+        return *this;
+    }
+
+    /// key + scalar value in one call.
+    template <typename V>
+    Writer& kv(std::string_view k, V&& v) {
+        key(k);
+        return value(std::forward<V>(v));
+    }
+
+    /// True once every opened scope is closed again.
+    bool complete() const { return depth_ == 0; }
+
+private:
+    struct Frame {
+        bool is_array = false;
+        bool has_members = false;
+    };
+
+    // Everything this repo emits is a handful of levels deep; a fixed stack
+    // keeps the writer allocation-free.
+    static constexpr int kMaxDepth = 32;
+
+    void push(bool is_array) {
+        assert(depth_ < kMaxDepth);
+        frames_[depth_++] = Frame{is_array, false};
+    }
+
+    void pop(char close) {
+        const bool had_members = frames_[depth_ - 1].has_members;
+        --depth_;
+        if (pretty_ && had_members) {
+            os_ << '\n';
+            indent_raw();
+        }
+        os_ << close;
+        if (depth_ == 0) os_ << '\n';
+    }
+
+    /// Emits the separator/indent owed before a new value: nothing after a
+    /// key, comma + newline between array elements.
+    void prefix() {
+        if (key_pending_) {
+            key_pending_ = false;
+            return;
+        }
+        if (depth_ > 0) {
+            assert(frames_[depth_ - 1].is_array && "object members need key() first");
+            separate();
+            indent();
+        }
+    }
+
+    void separate() {
+        if (frames_[depth_ - 1].has_members) os_ << ',';
+        frames_[depth_ - 1].has_members = true;
+    }
+
+    void indent() {
+        if (!pretty_) return;
+        os_ << '\n';
+        indent_raw();
+    }
+
+    void indent_raw() {
+        if (!pretty_) return;
+        for (int i = 0; i < depth_; ++i) os_ << "  ";
+    }
+
+    std::ostream& os_;
+    bool pretty_;
+    bool key_pending_ = false;
+    int depth_ = 0;
+    Frame frames_[kMaxDepth];
+};
+
+} // namespace dtree::json

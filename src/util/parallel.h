@@ -20,6 +20,10 @@ namespace dtree::util {
 inline std::pair<std::size_t, std::size_t> block_range(std::size_t n,
                                                        unsigned t,
                                                        unsigned T) {
+    // T == 0 is reachable through parallel_blocks(n, 0, fn) — e.g. a bench
+    // harness passing a miscomputed thread count — and would divide by zero.
+    // Treat it as a single-threaded team.
+    if (T == 0) T = 1;
     const std::size_t base = n / T;
     const std::size_t rem = n % T;
     const std::size_t begin = static_cast<std::size_t>(t) * base + std::min<std::size_t>(t, rem);

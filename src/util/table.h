@@ -44,6 +44,14 @@ public:
         os.flush();
     }
 
+    // Read access for machine-readable reports (bench/common.h JsonReport).
+    const std::string& metric() const { return metric_; }
+    const std::string& x_label() const { return x_label_; }
+    const std::vector<std::string>& xs() const { return xs_; }
+    const std::vector<std::pair<std::string, std::vector<double>>>& rows() const {
+        return rows_;
+    }
+
 private:
     static constexpr int col_w = 12;
 

@@ -9,6 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <iterator>
+#include <set>
+#include <vector>
+
+#include "util/random.h"
 
 namespace {
 
@@ -31,14 +36,16 @@ TEST(HintStatsTest, InsertHitsAndMissesPerKind) {
     Tree t;
     auto h = t.create_hints();
 
-    // Root creation: no hint consulted yet, no counts.
+    // Root creation: the hint slot is empty (cold), which counts as a miss —
+    // hits + misses must equal the number of hinted operations (Table 2's
+    // hit-rate denominator).
     EXPECT_TRUE(t.insert(10, h));
     EXPECT_EQ(hits(h.stats, HintKind::Insert), 0u);
-    EXPECT_EQ(misses(h.stats, HintKind::Insert), 0u);
+    EXPECT_EQ(misses(h.stats, HintKind::Insert), 1u);
 
     // 30 is outside the cached leaf's [10, 10] range: a miss.
     EXPECT_TRUE(t.insert(30, h));
-    EXPECT_EQ(misses(h.stats, HintKind::Insert), 1u);
+    EXPECT_EQ(misses(h.stats, HintKind::Insert), 2u);
 
     // 20 falls inside [10, 30]: a hit.
     EXPECT_TRUE(t.insert(20, h));
@@ -47,7 +54,7 @@ TEST(HintStatsTest, InsertHitsAndMissesPerKind) {
     // Duplicate re-insert of a covered key: a hit that returns false.
     EXPECT_FALSE(t.insert(20, h));
     EXPECT_EQ(hits(h.stats, HintKind::Insert), 2u);
-    EXPECT_EQ(misses(h.stats, HintKind::Insert), 1u);
+    EXPECT_EQ(misses(h.stats, HintKind::Insert), 2u);
 
     // Insert counters must not leak into the query kinds.
     EXPECT_EQ(hits(h.stats, HintKind::Contains), 0u);
@@ -63,7 +70,7 @@ TEST(HintStatsTest, ContainsHitsAndMisses) {
     auto q = t.create_hints(); // fresh hints: first query must traverse
     EXPECT_TRUE(t.contains(20, q));
     EXPECT_EQ(hits(q.stats, HintKind::Contains), 0u);
-    EXPECT_EQ(misses(q.stats, HintKind::Contains), 0u);
+    EXPECT_EQ(misses(q.stats, HintKind::Contains), 1u) << "cold slot is a miss";
 
     // Now the leaf is cached; covered keys are hits whether present or not.
     EXPECT_TRUE(t.contains(10, q));
@@ -73,7 +80,7 @@ TEST(HintStatsTest, ContainsHitsAndMisses) {
 
     // Outside the leaf range: a miss.
     EXPECT_FALSE(t.contains(99, q));
-    EXPECT_EQ(misses(q.stats, HintKind::Contains), 1u);
+    EXPECT_EQ(misses(q.stats, HintKind::Contains), 2u);
 
     EXPECT_EQ(hits(q.stats, HintKind::Insert), 0u)
         << "queries must not touch the insert counters";
@@ -85,8 +92,9 @@ TEST(HintStatsTest, LowerBoundHitsAndMisses) {
     for (std::uint64_t k : {10, 20, 30}) t.insert(k, h);
 
     auto q = t.create_hints();
-    EXPECT_EQ(*t.lower_bound(15, q), 20u); // traversal, caches the leaf
+    EXPECT_EQ(*t.lower_bound(15, q), 20u); // cold slot: traversal, a miss
     EXPECT_EQ(hits(q.stats, HintKind::Lower), 0u);
+    EXPECT_EQ(misses(q.stats, HintKind::Lower), 1u);
 
     EXPECT_EQ(*t.lower_bound(15, q), 20u); // [10, 30] covers 15: hit
     EXPECT_EQ(hits(q.stats, HintKind::Lower), 1u);
@@ -94,7 +102,7 @@ TEST(HintStatsTest, LowerBoundHitsAndMisses) {
     EXPECT_EQ(hits(q.stats, HintKind::Lower), 2u);
 
     EXPECT_EQ(t.lower_bound(35, q), t.end()); // beyond the leaf: miss
-    EXPECT_EQ(misses(q.stats, HintKind::Lower), 1u);
+    EXPECT_EQ(misses(q.stats, HintKind::Lower), 2u);
 }
 
 TEST(HintStatsTest, UpperBoundHitsAndMisses) {
@@ -103,8 +111,9 @@ TEST(HintStatsTest, UpperBoundHitsAndMisses) {
     for (std::uint64_t k : {10, 20, 30}) t.insert(k, h);
 
     auto q = t.create_hints();
-    EXPECT_EQ(*t.upper_bound(15, q), 20u); // traversal, caches the leaf
+    EXPECT_EQ(*t.upper_bound(15, q), 20u); // cold slot: traversal, a miss
     EXPECT_EQ(hits(q.stats, HintKind::Upper), 0u);
+    EXPECT_EQ(misses(q.stats, HintKind::Upper), 1u);
 
     EXPECT_EQ(*t.upper_bound(10, q), 20u); // 10 in [10, 30): hit
     EXPECT_EQ(hits(q.stats, HintKind::Upper), 1u);
@@ -112,7 +121,69 @@ TEST(HintStatsTest, UpperBoundHitsAndMisses) {
     // upper_bound needs k < max key for the answer to be leaf-local, so the
     // maximum itself is a miss (the strictly-greater element may be absent).
     EXPECT_EQ(t.upper_bound(30, q), t.end());
-    EXPECT_EQ(misses(q.stats, HintKind::Upper), 1u);
+    EXPECT_EQ(misses(q.stats, HintKind::Upper), 2u);
+}
+
+// Regression (multiset lower_bound hint): with duplicates allowed, a leaf
+// whose first key EQUALS the probe does not prove it holds the first
+// occurrence — the run of duplicates may begin in an earlier leaf. The hint
+// check must therefore demand a strictly smaller first key before taking the
+// cached leaf. BlockSize 3 makes a duplicate run span several leaves.
+TEST(HintStatsTest, MultisetLowerBoundHintSkipsEarlierDuplicates) {
+    using MTree = dtree::btree_multiset<std::uint64_t,
+                                        dtree::ThreeWayComparator<std::uint64_t>, 3>;
+    // Packed layout: root separators [5 5] over leaves [5 5] [5 5] [5 7] —
+    // the run of 5s spans every node and the leaf holding 7 *starts* with 5.
+    const std::vector<std::uint64_t> keys = {5, 5, 5, 5, 5, 5, 5, 7};
+    auto t = MTree::from_sorted(keys.begin(), keys.end());
+    ASSERT_EQ(t.check_invariants(), "");
+
+    auto h = t.create_hints();
+    // Warm the Lower hint onto the rightmost leaf.
+    ASSERT_EQ(*t.lower_bound(7, h), 7u);
+
+    // That leaf "covers" 5 under the set rule (first key <= 5 <= last key),
+    // but the first 5 lives two leaves earlier: the hint must be rejected
+    // and the traversal must land on the very first occurrence.
+    auto it = t.lower_bound(5, h);
+    ASSERT_NE(it, t.end());
+    EXPECT_EQ(*it, 5u);
+    EXPECT_EQ(std::distance(t.begin(), it), 0)
+        << "hinted lower_bound entered the duplicate run mid-way";
+}
+
+// Differential sweep of the same property: hinted lower_bound on a multiset
+// must always land where std::multiset::lower_bound does, no matter what
+// leaf the previous query left in the hint slot.
+TEST(HintStatsTest, MultisetLowerBoundHintedMatchesReference) {
+    using MTree = dtree::btree_multiset<std::uint64_t,
+                                        dtree::ThreeWayComparator<std::uint64_t>, 3>;
+    MTree t;
+    std::multiset<std::uint64_t> ref;
+    dtree::util::Rng rng(7);
+    auto h = t.create_hints();
+    for (int i = 0; i < 600; ++i) {
+        const auto v = dtree::util::uniform_int<std::uint64_t>(rng, 0, 30);
+        t.insert(v, h);
+        ref.insert(v);
+    }
+    ASSERT_EQ(t.check_invariants(), "");
+
+    auto q = t.create_hints();
+    // Interleave probes so the hint slot points all over the tree; every
+    // duplicated value must still resolve to its first occurrence.
+    for (int round = 0; round < 3; ++round) {
+        for (std::uint64_t probe = 0; probe <= 31; ++probe) {
+            const auto d_ref = std::distance(ref.begin(), ref.lower_bound(probe));
+            const auto d = std::distance(t.begin(), t.lower_bound(probe, q));
+            ASSERT_EQ(d, d_ref) << "probe " << probe << " round " << round;
+        }
+        for (std::uint64_t probe = 31; probe-- > 0;) {
+            const auto d_ref = std::distance(ref.begin(), ref.lower_bound(probe));
+            const auto d = std::distance(t.begin(), t.lower_bound(probe, q));
+            ASSERT_EQ(d, d_ref) << "probe " << probe << " (descending)";
+        }
+    }
 }
 
 TEST(HintStatsTest, AggregationAndRate) {

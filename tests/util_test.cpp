@@ -39,6 +39,23 @@ TEST(BlockRange, CoversExactlyOnce) {
     }
 }
 
+// Regression: T == 0 used to divide by zero (reachable through
+// parallel_blocks(n, 0, fn), whose run_threads(0, ...) still invokes
+// fn(0)). A zero-thread team is treated as a single-threaded one.
+TEST(BlockRange, ZeroThreadsActsAsOne) {
+    for (std::size_t n : {0ul, 1ul, 100ul}) {
+        auto [b, e] = block_range(n, 0, 0);
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, n);
+    }
+    std::size_t covered = 0;
+    parallel_blocks(123, 0, [&](unsigned t, std::size_t b, std::size_t e) {
+        EXPECT_EQ(t, 0u);
+        covered += e - b;
+    });
+    EXPECT_EQ(covered, 123u);
+}
+
 TEST(BlockRange, BalancedWithinOne) {
     for (unsigned T : {2u, 3u, 7u, 16u}) {
         std::size_t min_len = ~0ul, max_len = 0;
