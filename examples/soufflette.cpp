@@ -8,8 +8,11 @@
 // (tab-separated unsigned integers, one tuple per line); output relations
 // are written to DIR/r.csv. --stats prints Table-2-style statistics.
 // --profile prints a per-rule breakdown; --profile=FILE additionally writes
-// a machine-readable JSON record {runtime, stats, profile, metrics} to FILE
-// (Soufflé-profiler style).
+// a machine-readable JSON record {runtime, stats, profile, scheduler,
+// metrics} to FILE (Soufflé-profiler style).
+// --sched=blocks|steal picks the parallel scheduler (default: steal, or
+// DATATREE_SCHED); --grain=N sets the work-stealing chunk size in tuples
+// (default 64, or DATATREE_GRAIN) — work that fits one grain runs inline.
 //
 // Try it on the bundled example:
 //   ./build/examples/soufflette examples/programs/reachability.dl
@@ -22,6 +25,7 @@
 
 #include "datalog/io.h"
 #include "datalog/program.h"
+#include "runtime/scheduler.h"
 #include "util/cli.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -33,7 +37,8 @@ int main(int argc, char** argv) {
     if (argc < 2 || argv[1][0] == '-') {
         std::fprintf(stderr,
                      "usage: %s <program.dl> [--facts=DIR] [--output=DIR] "
-                     "[--jobs=N] [--stats] [--profile[=FILE]]\n",
+                     "[--jobs=N] [--sched=blocks|steal] [--grain=N] "
+                     "[--stats] [--profile[=FILE]]\n",
                      argv[0]);
         return 2;
     }
@@ -42,10 +47,22 @@ int main(int argc, char** argv) {
     const std::string facts_dir = cli.get_str("facts", ".");
     const std::string output_dir = cli.get_str("output", ".");
     const unsigned jobs = static_cast<unsigned>(cli.get_u64("jobs", 1));
+    const std::string sched = cli.get_str("sched", "");
+    const std::size_t grain = cli.get_u64("grain", 0);
 
     try {
         const AnalyzedProgram prog = compile(read_text_file(program_path));
         DefaultEngine engine(prog);
+        if (!sched.empty() && sched != "1") {
+            dtree::runtime::SchedMode mode;
+            if (!dtree::runtime::parse_mode(sched, mode)) {
+                std::fprintf(stderr, "unknown --sched=%s (blocks|steal)\n",
+                             sched.c_str());
+                return 2;
+            }
+            engine.set_scheduler_mode(mode);
+        }
+        if (grain) engine.set_grain(grain);
 
         for (const auto& decl : prog.decls) {
             if (!decl.is_input) continue;
@@ -101,6 +118,13 @@ int main(int argc, char** argv) {
                 w.begin_array();
                 for (const auto& p : engine.profile()) p.write_json(w);
                 w.end_array();
+                w.key("scheduler");
+                w.begin_object();
+                w.kv("mode", dtree::runtime::mode_name(engine.scheduler_mode()));
+                w.kv("grain", engine.grain());
+                w.key("pool");
+                dtree::runtime::Scheduler::instance().stats().write_json(w);
+                w.end_object();
                 w.kv("metrics_enabled", dtree::metrics::enabled());
                 w.key("metrics");
                 dtree::metrics::snapshot().write_json(w);
@@ -124,6 +148,16 @@ int main(int argc, char** argv) {
                         static_cast<unsigned long long>(s.input_tuples),
                         static_cast<unsigned long long>(s.produced_tuples));
             std::printf("hint hit rate: %.1f%%\n", 100.0 * s.hints.hit_rate());
+            const auto ps = dtree::runtime::Scheduler::instance().stats();
+            std::printf("scheduler: %s (grain %zu), %llu regions, %llu tasks, "
+                        "%llu steals (%llu failed probes), %llu pool threads\n",
+                        dtree::runtime::mode_name(engine.scheduler_mode()),
+                        engine.grain(),
+                        static_cast<unsigned long long>(ps.regions),
+                        static_cast<unsigned long long>(ps.tasks),
+                        static_cast<unsigned long long>(ps.steals),
+                        static_cast<unsigned long long>(ps.steal_failures),
+                        static_cast<unsigned long long>(ps.threads_spawned));
         }
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

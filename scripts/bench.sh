@@ -17,7 +17,10 @@
 # After each run the emitted JSON is validated (python3, when available):
 # it must parse, and the fig4 record — the multi-threaded one — must show
 # nonzero split, hint-hit, and lock-validation-failure counters, i.e. the
-# instrumentation actually observed concurrent tree growth.
+# instrumentation actually observed concurrent tree growth. The table2 record
+# (16-thread skewed doop-like evaluation) must additionally show the runtime
+# scheduler at work: pool regions executed, chunks dispatched, and at least
+# one successful steal rebalancing the skewed outer fanout.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -91,6 +94,17 @@ for counter in ("btree_leaf_splits", "btree_root_replacements",
                 "hint_hits_insert", "lock_validations_failed"):
     assert m.get(counter, 0) > 0, f"fig4 counter {counter} is zero"
     print(f"   fig4 {counter} = {m[counter]}")
+
+table2 = records["BENCH_table2.json"]
+m2 = table2["metrics"]
+# The 16-thread doop-like run is Zipf-skewed, so the work-stealing scheduler
+# (the engine default) must have run regions on the persistent pool and
+# rebalanced at least once. Zero steals here means either the pool never ran
+# or the chunked fanout regressed to static partitioning.
+for counter in ("sched_regions", "sched_tasks", "sched_threads_spawned",
+                "sched_steals"):
+    assert m2.get(counter, 0) > 0, f"table2 counter {counter} is zero"
+    print(f"   table2 {counter} = {m2[counter]}")
 EOF
 else
   echo "== python3 not found: skipping JSON validation =="

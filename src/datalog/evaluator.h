@@ -16,11 +16,17 @@
 //      until no NEW tuples.
 //
 // Parallelism (the paper's model): within one rule evaluation the matches of
-// the FIRST body atom are materialised and partitioned over T threads; each
-// thread joins the remaining atoms with its own LocalView per relation —
-// which is exactly where per-thread operation hints live. Writes go to NEW
-// relations only and reads to FULL/DELTA only: the two-phase discipline that
-// lets reads run unsynchronised.
+// the FIRST body atom are materialised and fanned out over the persistent
+// worker pool (runtime/scheduler.h) in grain-sized chunks, so skewed join
+// fanout rebalances by work stealing; each worker joins the remaining atoms
+// with its own LocalView per relation — which is exactly where per-thread
+// operation hints live. Views are cached per worker per relation
+// (datalog/view_cache.h), so hints persist across chunks, rules, and
+// fixpoint iterations, like Soufflé's long-lived OpenMP threads. Writes go
+// to NEW relations only and reads to FULL/DELTA only: the two-phase
+// discipline that lets reads run unsynchronised. DATATREE_SCHED=blocks|steal
+// (or set_scheduler_mode) picks the scheduler, --grain/set_grain the chunk
+// size; work that fits one grain runs inline on the caller.
 
 #include <algorithm>
 #include <atomic>
@@ -40,7 +46,8 @@
 #include "datalog/relation.h"
 #include "datalog/semantics.h"
 #include "datalog/symbol_table.h"
-#include "util/parallel.h"
+#include "datalog/view_cache.h"
+#include "runtime/scheduler.h"
 
 namespace dtree::datalog {
 
@@ -142,24 +149,48 @@ public:
     }
 
     /// Bulk fact loading (workload generators). Tuples are padded source-
-    /// order column values.
+    /// order column values. Only genuinely new tuples count as input —
+    /// duplicate facts would otherwise inflate input_tuples_ and skew
+    /// produced_tuples in EngineStats.
     void add_facts(const std::string& relation, const std::vector<StorageTuple>& facts) {
         RelationT& rel = *relations_.at(prog_.relation_id(relation));
         auto view = rel.local_view(0);
-        for (const auto& t : facts) view.insert(t);
-        input_tuples_ += facts.size();
+        for (const auto& t : facts) {
+            if (view.insert(t)) ++input_tuples_;
+        }
     }
 
     void add_fact(const std::string& relation, const StorageTuple& t) {
-        relations_.at(prog_.relation_id(relation))->insert(t);
-        ++input_tuples_;
+        if (relations_.at(prog_.relation_id(relation))->insert(t)) {
+            ++input_tuples_;
+        }
     }
+
+    /// Picks the scheduler for parallel regions; defaults to work stealing
+    /// (DATATREE_SCHED=blocks|steal overrides at construction).
+    void set_scheduler_mode(runtime::SchedMode m) { mode_ = m; }
+    runtime::SchedMode scheduler_mode() const { return mode_; }
+
+    /// Chunk grain for rule fanout and merges; 0 restores the default. Work
+    /// that fits one grain runs inline — this is the scheduler-owned
+    /// replacement for the old hard-coded 256-tuple single-thread cutoff.
+    void set_grain(std::size_t g) {
+        grain_ = g ? g : runtime::default_grain();
+    }
+    std::size_t grain() const { return grain_; }
 
     /// Runs the program to fixpoint with the given number of threads.
     void run(unsigned threads) {
         if (threads == 0) throw std::invalid_argument("threads must be >= 1");
         threads_ = threads;
+        // All pool threads come up here; regions never spawn again
+        // (acceptance: sched_threads_spawned stays flat across the run).
+        runtime::Scheduler::instance().reserve(threads);
+        views_.reset(threads);
         for (const Stratum& stratum : prog_.strata) evaluate_stratum(stratum);
+        // Retire cached views: flushes their op counters and hint stats into
+        // the relations so stats() sees the whole run.
+        views_.clear();
     }
 
     const RelationT& relation(const std::string& name) const {
@@ -265,7 +296,12 @@ private:
                 }
             }
 
-            // Phase 4: merge NEW into FULL, rotate NEW -> DELTA.
+            // Phase 4: merge NEW into FULL, rotate NEW -> DELTA. Cached
+            // views on the scratch relations must retire first: the rotation
+            // moves the backing storages between wrappers, stranding any
+            // live view (FULL-tier views survive — those relations never
+            // rotate).
+            views_.invalidate_scratch();
             bool progress = false;
             for (std::size_t rel : stratum.relations) {
                 RelationT& nw = *fresh[rel];
@@ -278,6 +314,9 @@ private:
             }
             if (!progress) break;
         }
+        // The delta/fresh scratch relations die with this scope; no cached
+        // view may outlive them.
+        views_.invalidate_scratch();
     }
 
     std::unique_ptr<RelationT> make_scratch(std::size_t rel) const {
@@ -287,23 +326,19 @@ private:
                                            indexes_.relation_indexes[rel]);
     }
 
-    /// Parallel merge of a NEW relation into FULL; sorted iteration order
-    /// makes this the hint-friendly specialised merge of §3.
+    /// Pooled parallel merge of a NEW relation into FULL; sorted iteration
+    /// order makes this the hint-friendly specialised merge of §3, and the
+    /// cached per-worker views keep those hints warm across iterations.
     void merge_into_full(std::size_t rel, RelationT& nw) {
         DTREE_METRIC_TIMER(datalog_merge_ns);
         std::vector<StorageTuple> tuples;
         nw.for_each([&](const StorageTuple& t) { tuples.push_back(t); });
-        util::parallel_blocks(tuples.size(), effective_threads(tuples.size()),
-                              [&](unsigned tid, std::size_t b, std::size_t e) {
-                                  auto view = relations_[rel]->local_view(tid);
-                                  for (std::size_t i = b; i < e; ++i) view.insert(tuples[i]);
-                              });
-    }
-
-    unsigned effective_threads(std::size_t work_items) const {
-        // Spawning 16 threads for 10 tuples costs more than it saves.
-        if (work_items < 256) return 1;
-        return threads_;
+        runtime::Scheduler::instance().parallel_for(
+            tuples.size(), threads_, {mode_, grain_},
+            [&](unsigned wid, std::size_t b, std::size_t e) {
+                auto& view = views_.get(wid, *relations_[rel], false);
+                for (std::size_t i = b; i < e; ++i) view.insert(tuples[i]);
+            });
     }
 
     /// Evaluates one rule (or one delta-variant of it): delta_atom is the
@@ -342,7 +377,7 @@ private:
         // Constraint-only body (e.g. `a(1) :- 1 < 2.`): emit the (ground)
         // head once.
         if (cr.body.empty()) {
-            auto head_full = relations_[head_rel]->local_view(0);
+            auto& head_full = views_.get(0, *relations_[head_rel], false);
             StorageTuple t{};
             for (unsigned c = 0; c < cr.head.arity; ++c) t[c] = cr.head.cols[c].constant;
             if (head_full.insert(t)) {
@@ -354,19 +389,19 @@ private:
         // All-negated body (e.g. `a(1) :- !b(1).`): no outer atom to fan out
         // over; evaluate the chain of membership filters once, sequentially.
         if (cr.body[0].negated) {
-            std::vector<typename RelationT::LocalView> body_views;
+            std::vector<typename RelationT::LocalView*> body_views;
             for (std::size_t a = 0; a < cr.body.size(); ++a) {
-                body_views.push_back(resolve(cr.body[a].relation, Version::Full, delta)
-                                         .local_view(0));
+                body_views.push_back(&views_.get(
+                    0, resolve(cr.body[a].relation, Version::Full, delta),
+                    false));
             }
-            auto head_full = relations_[head_rel]->local_view(0);
+            auto& head_full = views_.get(0, *relations_[head_rel], false);
             RelationT* new_rel = fresh ? fresh->at(head_rel).get() : nullptr;
-            auto head_new = new_rel ? std::make_unique<typename RelationT::LocalView>(
-                                          new_rel->local_view(0))
-                                    : nullptr;
+            typename RelationT::LocalView* head_new =
+                new_rel ? &views_.get(0, *new_rel, true) : nullptr;
             std::array<Value, 32> env{};
             std::uint64_t derived = 0;
-            join_from(rule_idx, cr, 0, env, body_views, head_full, head_new.get(),
+            join_from(rule_idx, cr, 0, env, body_views, head_full, head_new,
                       derived);
             profile_scope.derived.fetch_add(derived, std::memory_order_relaxed);
             return;
@@ -375,36 +410,46 @@ private:
         // Materialise the outer atom's candidate tuples (source order).
         std::vector<StorageTuple> outer;
         {
-            RelationT& rel0 = resolve(cr.body[0].relation, delta_atom == 0 ? Version::Delta
-                                                                           : Version::Full,
-                                      delta);
-            auto view = rel0.local_view(0);
+            const bool from_delta = delta_atom == 0;
+            RelationT& rel0 =
+                resolve(cr.body[0].relation,
+                        from_delta ? Version::Delta : Version::Full, delta);
+            auto& view = views_.get(0, rel0, from_delta);
             collect_atom_matches(rule_idx, 0, cr.body[0], view, outer);
         }
         if (outer.empty()) return;
 
-        util::parallel_blocks(outer.size(), effective_threads(outer.size()),
-                              [&](unsigned tid, std::size_t b, std::size_t e) {
-            // Per-thread views: reads on body relations, writes on head.
-            std::vector<typename RelationT::LocalView> body_views;
+        // Fan the outer matches out over the pool in grain-sized chunks —
+        // the scheduler rebalances skewed fanout by stealing, and chunks
+        // that fit one grain run inline. fn may run several times per
+        // worker: per-worker views come from the cache, so hints stay warm
+        // across chunks (and across whole evaluations).
+        runtime::Scheduler::instance().parallel_for(
+            outer.size(), threads_, {mode_, grain_},
+            [&](unsigned wid, std::size_t b, std::size_t e) {
+            // Per-worker views: reads on body relations, writes on head.
+            std::vector<typename RelationT::LocalView*> body_views;
             body_views.reserve(cr.body.size());
             for (std::size_t a = 0; a < cr.body.size(); ++a) {
-                const Version v = (static_cast<int>(a) == delta_atom) ? Version::Delta
-                                                                      : Version::Full;
-                body_views.push_back(resolve(cr.body[a].relation, v, delta).local_view(tid));
+                const bool from_delta = static_cast<int>(a) == delta_atom;
+                body_views.push_back(&views_.get(
+                    wid,
+                    resolve(cr.body[a].relation,
+                            from_delta ? Version::Delta : Version::Full,
+                            delta),
+                    from_delta));
             }
-            auto head_full = relations_[head_rel]->local_view(tid);
+            auto& head_full = views_.get(wid, *relations_[head_rel], false);
             RelationT* new_rel = fresh ? fresh->at(head_rel).get() : nullptr;
-            auto head_new = new_rel ? std::make_unique<typename RelationT::LocalView>(
-                                          new_rel->local_view(tid))
-                                    : nullptr;
+            typename RelationT::LocalView* head_new =
+                new_rel ? &views_.get(wid, *new_rel, true) : nullptr;
 
             std::array<Value, 32> env{};
             std::uint64_t derived = 0;
             for (std::size_t i = b; i < e; ++i) {
                 if (!bind_atom(cr.body[0], outer[i], env)) continue;
                 if (!constraints_hold(cr, 0, env)) continue;
-                join_from(rule_idx, cr, 1, env, body_views, head_full, head_new.get(),
+                join_from(rule_idx, cr, 1, env, body_views, head_full, head_new,
                           derived);
             }
             profile_scope.derived.fetch_add(derived, std::memory_order_relaxed);
@@ -482,9 +527,12 @@ private:
     }
 
     /// Nested-loop join over body atoms [atom_idx..), emitting head tuples.
+    /// body_views holds one cached view pointer per atom occurrence (two
+    /// atoms on the same relation share a view; scans are reentrant —
+    /// iteration state lives in the scan, only hints live in the view).
     void join_from(std::size_t rule_idx, const CompiledRule& cr, std::size_t atom_idx,
                    std::array<Value, 32>& env,
-                   std::vector<typename RelationT::LocalView>& body_views,
+                   std::vector<typename RelationT::LocalView*>& body_views,
                    typename RelationT::LocalView& head_full,
                    typename RelationT::LocalView* head_new, std::uint64_t& derived) {
         if (atom_idx == cr.body.size()) {
@@ -503,7 +551,7 @@ private:
         }
 
         const CompiledAtom& atom = cr.body[atom_idx];
-        auto& view = body_views[atom_idx];
+        auto& view = *body_views[atom_idx];
 
         // Fully-bound atoms (incl. all negated ones) are membership tests.
         const std::uint8_t full_mask = static_cast<std::uint8_t>((1u << atom.arity) - 1);
@@ -551,7 +599,10 @@ private:
     std::vector<std::unique_ptr<RelationT>> relations_;
     std::vector<CompiledRule> compiled_;
     std::vector<RuleProfile> profile_;
+    ViewCache<RelationT> views_;
     unsigned threads_ = 1;
+    runtime::SchedMode mode_ = runtime::default_mode(runtime::SchedMode::Steal);
+    std::size_t grain_ = runtime::default_grain();
     std::uint64_t input_tuples_ = 0;
     std::uint64_t iterations_ = 0;
 };

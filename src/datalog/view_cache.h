@@ -1,0 +1,88 @@
+#pragma once
+
+// Per-worker, per-relation cache of Relation LocalViews for the evaluation
+// engine.
+//
+// A LocalView carries the storage adapter's per-thread state — for the
+// specialized B-tree that is the operation-hint block of §3, the paper's
+// headline optimisation. The seed engine recreated every view inside every
+// parallel region, so hints were stone cold at the start of each rule
+// evaluation and each merge. With the persistent scheduler
+// (runtime/scheduler.h) worker ids are stable across regions, which makes it
+// sound to keep one view per (worker, relation) alive for the whole run:
+// hints then persist across chunks, across rule evaluations, and across
+// fixpoint iterations, exactly like Soufflé's long-lived OpenMP threads.
+//
+// Two tiers per worker:
+//   * full    — views on the engine's FULL relations. The relations live (and
+//               are never cleared or swapped) for the whole run, so these
+//               views stay valid until the engine drops the cache.
+//   * scratch — views on DELTA / NEW scratch relations. Those rotate every
+//               fixpoint iteration (clear + swap_contents moves the backing
+//               storages between wrappers, stranding any live view), so the
+//               engine calls invalidate_scratch() before each rotation and
+//               before the scratch relations are destroyed.
+//
+// Thread contract, mirroring the phase discipline: worker w touches only
+// slot w, and only inside a parallel region; the engine thread (worker 0)
+// may also use slot 0 and call the maintenance functions between regions.
+// Region boundaries give the necessary happens-before in both directions.
+// Entries are unique_ptr so cached views have stable addresses; lookup is a
+// linear scan, fine for the handful of relations a rule touches.
+//
+// Destroying or invalidating entries retires the views, which is also what
+// flushes their operation counters and hint statistics into the owning
+// Relation — the engine drops the cache before reporting stats.
+
+#include <memory>
+#include <vector>
+
+namespace dtree::datalog {
+
+template <typename RelationT>
+class ViewCache {
+public:
+    using View = typename RelationT::LocalView;
+
+    /// Drops every cached view and resizes to `team` worker slots.
+    void reset(unsigned team) {
+        slots_.clear();
+        slots_.resize(team);
+    }
+
+    /// Worker `wid`'s view on `rel`, created on first use. `scratch` selects
+    /// the tier (and thus the invalidation lifetime); a given relation must
+    /// consistently use one tier.
+    View& get(unsigned wid, RelationT& rel, bool scratch) {
+        auto& tier = scratch ? slots_[wid].scratch : slots_[wid].full;
+        for (auto& e : tier) {
+            if (e.rel == &rel) return *e.view;
+        }
+        tier.push_back(
+            {&rel, std::make_unique<View>(rel.local_view(wid))});
+        return *tier.back().view;
+    }
+
+    /// Retires all scratch-tier views (every worker). Must run before the
+    /// scratch relations rotate or die; engine thread only, between regions.
+    void invalidate_scratch() {
+        for (auto& s : slots_) s.scratch.clear();
+    }
+
+    /// Retires everything (flushing counters/hint stats into the relations).
+    void clear() { slots_.clear(); }
+
+private:
+    struct Entry {
+        RelationT* rel;
+        std::unique_ptr<View> view;
+    };
+    /// Padded: workers scan and grow their own slot inside regions.
+    struct alignas(64) Slot {
+        std::vector<Entry> full;
+        std::vector<Entry> scratch;
+    };
+    std::vector<Slot> slots_;
+};
+
+} // namespace dtree::datalog

@@ -50,6 +50,8 @@ enum class Site : unsigned {
     leaf_retry,        ///< btree::leaf_insert -> force LeafResult::Retry
     split_delay,       ///< spin inside the Alg. 2 split window (locks held)
     upgrade_delay,     ///< widen leaf_insert's snapshot -> upgrade window
+    sched_steal_delay, ///< spin before each steal probe (runtime/scheduler.h)
+    sched_worker_stall,///< stall a worker entering a region (forces imbalance)
     count
 };
 
@@ -62,6 +64,8 @@ inline const char* site_name(Site s) {
         case Site::leaf_retry: return "leaf_retry";
         case Site::split_delay: return "split_delay";
         case Site::upgrade_delay: return "upgrade_delay";
+        case Site::sched_steal_delay: return "sched_steal_delay";
+        case Site::sched_worker_stall: return "sched_worker_stall";
         default: return "?";
     }
 }

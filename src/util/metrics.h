@@ -70,6 +70,13 @@ enum class Counter : unsigned {
     datalog_merge_ns,            ///< wall time merging NEW into FULL
     datalog_fixpoint_iterations, ///< fixpoint loop iterations across strata
     datalog_tuples_derived,      ///< genuinely new head tuples inserted
+    // runtime/scheduler.h
+    sched_regions,         ///< parallel regions dispatched to the pool
+    sched_tasks,           ///< chunks executed (any worker, any mode)
+    sched_steals,          ///< chunks taken from another worker's deque
+    sched_steal_failures,  ///< steal probes that found the victim empty
+    sched_idle_ns,         ///< time workers spent parked or waiting at a region end
+    sched_threads_spawned, ///< pool threads ever created (flat after startup)
     count
 };
 
@@ -101,6 +108,12 @@ inline const char* counter_name(Counter c) {
         case Counter::datalog_merge_ns: return "datalog_merge_ns";
         case Counter::datalog_fixpoint_iterations: return "datalog_fixpoint_iterations";
         case Counter::datalog_tuples_derived: return "datalog_tuples_derived";
+        case Counter::sched_regions: return "sched_regions";
+        case Counter::sched_tasks: return "sched_tasks";
+        case Counter::sched_steals: return "sched_steals";
+        case Counter::sched_steal_failures: return "sched_steal_failures";
+        case Counter::sched_idle_ns: return "sched_idle_ns";
+        case Counter::sched_threads_spawned: return "sched_threads_spawned";
         default: return "?";
     }
 }

@@ -5,54 +5,67 @@
 // a uniform way to fan work out across T threads and to partition index
 // ranges the way the paper's benchmarks do (contiguous blocks per thread,
 // which on the paper's NUMA testbed keeps most traffic socket-local).
+//
+// Since the runtime/ subsystem landed, both helpers execute on the
+// persistent worker pool (runtime/scheduler.h) instead of spawning a fresh
+// std::thread team per call: thread ids map to stable pool worker ids, and
+// repeated calls reuse the same parked threads. The observable contract is
+// unchanged — fn runs concurrently on T distinct threads, the call returns
+// after all of them finish (with the same happens-before as join), and
+// exceptions escaping fn terminate. parallel_blocks keeps the seed's static
+// block partition by default; set DATATREE_SCHED=steal (or
+// runtime::set_default_mode) to route it through the chunked work-stealing
+// scheduler instead, with the chunk grain from DATATREE_GRAIN /
+// runtime::set_default_grain.
 
 #include <cstddef>
-#include <functional>
-#include <thread>
 #include <utility>
-#include <vector>
+
+#include "runtime/scheduler.h"
 
 namespace dtree::util {
 
 /// Contiguous [begin, end) block for thread t of T over n items.
 /// Remainder items are spread over the leading threads so block sizes differ
-/// by at most one.
+/// by at most one. T == 0 (reachable through parallel_blocks(n, 0, fn), e.g.
+/// a bench harness passing a miscomputed thread count) is clamped to a
+/// single-threaded team instead of dividing by zero.
 inline std::pair<std::size_t, std::size_t> block_range(std::size_t n,
                                                        unsigned t,
                                                        unsigned T) {
-    // T == 0 is reachable through parallel_blocks(n, 0, fn) — e.g. a bench
-    // harness passing a miscomputed thread count — and would divide by zero.
-    // Treat it as a single-threaded team.
-    if (T == 0) T = 1;
-    const std::size_t base = n / T;
-    const std::size_t rem = n % T;
-    const std::size_t begin = static_cast<std::size_t>(t) * base + std::min<std::size_t>(t, rem);
-    const std::size_t len = base + (t < rem ? 1 : 0);
-    return {begin, begin + len};
+    return runtime::split_range(n, t, T);
 }
 
-/// Runs fn(thread_id) on T threads and joins them all. fn must be callable
-/// concurrently; exceptions escaping fn terminate (as with raw std::thread).
+/// Runs fn(thread_id) on T distinct threads (the caller plus T-1 pool
+/// workers) and returns when all are done. fn must be callable concurrently;
+/// exceptions escaping fn terminate (as with raw std::thread).
 template <typename Fn>
 void run_threads(unsigned T, Fn&& fn) {
-    if (T <= 1) {
-        fn(0u);
-        return;
-    }
-    std::vector<std::thread> team;
-    team.reserve(T);
-    for (unsigned t = 0; t < T; ++t) team.emplace_back([&fn, t] { fn(t); });
-    for (auto& th : team) th.join();
+    runtime::Scheduler::instance().run_team(T, std::forward<Fn>(fn));
 }
 
-/// Parallel for over [0, n): each of T threads receives its contiguous block
-/// as fn(thread_id, begin, end).
+/// Parallel for over [0, n) as fn(thread_id, begin, end). By default each of
+/// T threads receives its contiguous block exactly once (the seed's static
+/// partition); under DATATREE_SCHED=steal the range is instead cut into
+/// grain-sized chunks rebalanced by work stealing, and fn may be called
+/// several times per thread with sub-ranges.
 template <typename Fn>
 void parallel_blocks(std::size_t n, unsigned T, Fn&& fn) {
-    run_threads(T, [&](unsigned t) {
-        auto [b, e] = block_range(n, t, T);
-        fn(t, b, e);
-    });
+    const runtime::SchedMode mode =
+        runtime::default_mode(runtime::SchedMode::Blocks);
+    if (mode == runtime::SchedMode::Blocks) {
+        // Preserve the seed contract exactly: fn is invoked once per thread
+        // id in [0, T), including empty blocks when n < T.
+        runtime::Scheduler::instance().run_team(T, [&](unsigned t) {
+            const auto [b, e] = block_range(n, t, T);
+            fn(t, b, e);
+        });
+        return;
+    }
+    runtime::Scheduler::instance().parallel_for(
+        n, T == 0 ? 1 : T,
+        {runtime::SchedMode::Steal, runtime::default_grain()},
+        std::forward<Fn>(fn));
 }
 
 } // namespace dtree::util

@@ -48,6 +48,14 @@ struct TortureOptions {
     std::uint64_t seed = 1;
     std::uint64_t key_space = 30000; ///< keys drawn uniformly from [0, key_space)
     unsigned scan_len = 24;          ///< elements compared per range scan
+    /// Drive the write phase through the scheduler's chunked work-stealing
+    /// regions (runtime/scheduler.h) instead of one static range per thread,
+    /// so the phase-concurrent oracle also exercises pool workers executing
+    /// stolen chunks. Determinism note: which worker runs which chunk then
+    /// depends on stealing, so per-op RNG streams derive from the chunk
+    /// begin index, not the thread id.
+    bool steal_regions = false;
+    std::size_t steal_grain = 64; ///< chunk grain when steal_regions is set
 };
 
 struct TortureResult {
@@ -115,26 +123,57 @@ TortureResult torture_run(Tree& tree, const TortureOptions& opt) {
         std::atomic<std::uint64_t> successes{0};
 
         // -- write phase ----------------------------------------------------
-        run_threads(opt.threads, [&](unsigned tid) {
-            fail::set_thread_ordinal(tid);
-            Rng rng = thread_rng(round, tid, false);
-            auto hints = tree.create_hints();
-            std::uint64_t mine = 0;
-            for (std::size_t i = 0; i < opt.inserts_per_thread; ++i) {
-                if (failed.load(std::memory_order_relaxed)) break;
-                const std::uint64_t k =
-                    uniform_int<std::uint64_t>(rng, 0, opt.key_space - 1);
-                const bool inserted = tree.insert(k, hints);
-                if (inserted) ++mine;
-                logs[tid].push_back(Op{k, inserted});
-                {
-                    std::lock_guard<std::mutex> g(oracle_mu);
-                    oracle.insert(k);
+        if (opt.steal_regions) {
+            // Pool-driven variant: one steal region over all inserts of the
+            // round. A chunk's ops always replay identically (RNG keyed by
+            // chunk begin) no matter which worker stole it; logs stay
+            // per-worker because worker ids are stable and exclusive.
+            const std::size_t total = opt.threads * opt.inserts_per_thread;
+            runtime::Scheduler::instance().parallel_for(
+                total, opt.threads,
+                {runtime::SchedMode::Steal, opt.steal_grain},
+                [&](unsigned wid, std::size_t b, std::size_t e) {
+                    fail::set_thread_ordinal(wid);
+                    Rng rng(opt.seed * 1000003 + round * 8191 + b * 131 + 3);
+                    auto hints = tree.create_hints();
+                    std::uint64_t mine = 0;
+                    for (std::size_t i = b; i < e; ++i) {
+                        if (failed.load(std::memory_order_relaxed)) break;
+                        const std::uint64_t k =
+                            uniform_int<std::uint64_t>(rng, 0, opt.key_space - 1);
+                        const bool inserted = tree.insert(k, hints);
+                        if (inserted) ++mine;
+                        logs[wid].push_back(Op{k, inserted});
+                        {
+                            std::lock_guard<std::mutex> g(oracle_mu);
+                            oracle.insert(k);
+                        }
+                    }
+                    successes.fetch_add(mine, std::memory_order_relaxed);
+                    inserts.fetch_add(e - b, std::memory_order_relaxed);
+                });
+        } else {
+            run_threads(opt.threads, [&](unsigned tid) {
+                fail::set_thread_ordinal(tid);
+                Rng rng = thread_rng(round, tid, false);
+                auto hints = tree.create_hints();
+                std::uint64_t mine = 0;
+                for (std::size_t i = 0; i < opt.inserts_per_thread; ++i) {
+                    if (failed.load(std::memory_order_relaxed)) break;
+                    const std::uint64_t k =
+                        uniform_int<std::uint64_t>(rng, 0, opt.key_space - 1);
+                    const bool inserted = tree.insert(k, hints);
+                    if (inserted) ++mine;
+                    logs[tid].push_back(Op{k, inserted});
+                    {
+                        std::lock_guard<std::mutex> g(oracle_mu);
+                        oracle.insert(k);
+                    }
                 }
-            }
-            successes.fetch_add(mine, std::memory_order_relaxed);
-            inserts.fetch_add(opt.inserts_per_thread, std::memory_order_relaxed);
-        });
+                successes.fetch_add(mine, std::memory_order_relaxed);
+                inserts.fetch_add(opt.inserts_per_thread, std::memory_order_relaxed);
+            });
+        }
         if (failed.load()) break;
 
         // -- barrier checks -------------------------------------------------

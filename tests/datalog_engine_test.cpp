@@ -224,6 +224,25 @@ TEST(Engine, StatsCountOperationsAndTuples) {
     EXPECT_GT(s.hints.total_hits() + s.hints.total_misses(), 0u);
 }
 
+TEST(Engine, DuplicateFactsCountOnce) {
+    // Regression: add_facts/add_fact used to count duplicates into
+    // input_tuples, which deflated produced_tuples (produced = stored -
+    // input). Only genuinely new tuples are input.
+    std::vector<StorageTuple> edges;
+    for (Value i = 0; i + 1 < 50; ++i) edges.push_back(StorageTuple{i, i + 1});
+    // Same batch twice + every tuple again via add_fact: 3x duplication.
+    DefaultEngine engine(compile(kTcProgram));
+    engine.add_facts("edge", edges);
+    engine.add_facts("edge", edges);
+    for (const auto& t : edges) engine.add_fact("edge", t);
+    engine.run(1);
+    const auto s = engine.stats();
+    EXPECT_EQ(s.input_tuples, 49u)
+        << "duplicate facts must not count as input";
+    EXPECT_EQ(s.produced_tuples, 50u * 49u / 2u)
+        << "chain closure output is independent of input duplication";
+}
+
 // Every Fig. 5 storage configuration must produce identical results.
 template <typename T>
 class EngineStorageTest : public ::testing::Test {};

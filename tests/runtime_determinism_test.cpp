@@ -1,0 +1,77 @@
+// Scheduler determinism: semi-naïve evaluation must produce identical
+// relation contents no matter how the runtime schedules it — 1 thread vs a
+// full team, static blocks vs work stealing, coarse vs fine grain. The
+// engine's phase discipline (writes only to NEW, set semantics everywhere)
+// makes the fixpoint order-independent; this suite pins that property to the
+// new runtime across the example workloads.
+
+#include "datalog/program.h"
+#include "datalog/workloads.h"
+#include "runtime/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+using namespace dtree::datalog;
+using dtree::runtime::SchedMode;
+
+using Snapshot = std::map<std::string, std::vector<StorageTuple>>;
+
+Snapshot run_workload(const Workload& w, unsigned threads, SchedMode mode,
+                      std::size_t grain) {
+    Engine<storage::OurBTree> engine(compile(w.source));
+    engine.set_scheduler_mode(mode);
+    engine.set_grain(grain);
+    for (const auto& [rel, facts] : w.facts) engine.add_facts(rel, facts);
+    engine.run(threads);
+    Snapshot snap;
+    for (const auto& d : engine.analyzed().decls) {
+        snap[d.name] = engine.tuples(d.name);
+    }
+    return snap;
+}
+
+void check_workload(const Workload& w) {
+    // Small grain: even small workloads produce many chunks, so the T>1 runs
+    // genuinely exercise chunked execution and stealing.
+    const Snapshot ref = run_workload(w, 1, SchedMode::Steal, 16);
+    for (const unsigned threads : {4u, 8u}) {
+        for (const SchedMode mode : {SchedMode::Steal, SchedMode::Blocks}) {
+            const Snapshot got = run_workload(w, threads, mode, 16);
+            ASSERT_EQ(got.size(), ref.size()) << w.name;
+            for (const auto& [rel, tuples] : ref) {
+                const auto it = got.find(rel);
+                ASSERT_NE(it, got.end()) << w.name << "/" << rel;
+                EXPECT_EQ(it->second, tuples)
+                    << w.name << "/" << rel << " diverges at threads="
+                    << threads << " mode=" << dtree::runtime::mode_name(mode);
+            }
+        }
+    }
+}
+
+TEST(RuntimeDeterminism, TransitiveClosureRandom) {
+    check_workload(make_transitive_closure(GraphKind::Random, 120, 360, 5));
+}
+
+TEST(RuntimeDeterminism, TransitiveClosureChain) {
+    check_workload(make_transitive_closure(GraphKind::Chain, 150, 149, 6));
+}
+
+TEST(RuntimeDeterminism, TransitiveClosurePreferentialAttachment) {
+    // Zipf-ish degree distribution: the skewed-fanout case stealing exists
+    // for.
+    check_workload(
+        make_transitive_closure(GraphKind::PreferentialAttachment, 150, 500, 7));
+}
+
+TEST(RuntimeDeterminism, DoopLike) { check_workload(make_doop_like(220, 7)); }
+
+TEST(RuntimeDeterminism, Ec2Like) { check_workload(make_ec2_like(260, 11)); }
+
+} // namespace

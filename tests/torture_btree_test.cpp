@@ -9,6 +9,7 @@
 // fail is worthless).
 
 #include "core/btree.h"
+#include "runtime/scheduler.h"
 #include "util/failpoint.h"
 #include "util/torture.h"
 
@@ -154,6 +155,40 @@ void run_injected_torture(std::uint64_t seed) {
 TEST_F(TortureTest, InjectedBlock3) { run_injected_torture<3>(201); }
 TEST_F(TortureTest, InjectedBlock4) { run_injected_torture<4>(202); }
 TEST_F(TortureTest, InjectedBlock5) { run_injected_torture<5>(203); }
+
+// -- pool-driven torture: write phase on scheduler workers ------------------
+// steal_regions routes the write phase through the persistent pool's chunked
+// work-stealing regions (runtime/scheduler.h), so the phase-concurrent
+// oracle also covers workers executing stolen chunks. A small grain makes
+// many chunks per worker; sched_steal_delay widens the owner/thief window.
+
+template <unsigned B>
+void run_pool_torture(std::uint64_t seed, bool inject) {
+    auto opt = TortureTest::options(seed);
+    opt.steal_regions = true;
+    opt.steal_grain = 16;
+    if (inject) {
+        TortureTest::arm_failpoints(seed);
+        fail::set_probability(fail::Site::sched_steal_delay, 0.2);
+        fail::set_delay(fail::Site::sched_steal_delay, 200);
+        fail::set_probability(fail::Site::sched_worker_stall, 0.5);
+        fail::set_delay(fail::Site::sched_worker_stall, 400);
+    }
+    const auto before = dtree::runtime::Scheduler::instance().stats();
+    Tree<B> tree;
+    const auto res = torture_run(tree, opt);
+    ASSERT_TRUE(res.ok) << res.failure;
+    EXPECT_GT(res.new_keys, 0u);
+    const auto after = dtree::runtime::Scheduler::instance().stats();
+    EXPECT_GT(after.regions, before.regions)
+        << "write phases must have run as pool regions";
+    EXPECT_GT(after.tasks, before.tasks);
+}
+
+TEST_F(TortureTest, PoolCleanBlock3) { run_pool_torture<3>(301, false); }
+TEST_F(TortureTest, PoolCleanBlock11) { run_pool_torture<11>(302, false); }
+TEST_F(TortureTest, PoolInjectedBlock3) { run_pool_torture<3>(401, true); }
+TEST_F(TortureTest, PoolInjectedBlock4) { run_pool_torture<4>(402, true); }
 
 // Multiple seeds at the smallest node size: distinct schedules + distinct
 // injection streams.
