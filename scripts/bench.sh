@@ -40,7 +40,7 @@ BUILD=build-metrics
 echo "== configuring $BUILD (DATATREE_METRICS=ON, mode: $MODE) =="
 cmake -B "$BUILD" -S . -DDATATREE_METRICS=ON >/dev/null
 cmake --build "$BUILD" -j"$JOBS" \
-  --target fig3_sequential fig4_parallel_insert table2_stats
+  --target fig3_sequential fig4_parallel_insert table2_stats fig5_datalog
 
 case "$MODE" in
   smoke)
@@ -50,16 +50,19 @@ case "$MODE" in
     FIG3_ARGS=(--sides=200,400)
     FIG4_ARGS=(--smoke --n=300000 --threads=1,2,4)
     TABLE2_ARGS=(--scale=400)
+    FIG5_ARGS=(--scale=300 --threads=1,2)
     ;;
   quick)
     FIG3_ARGS=()
     FIG4_ARGS=(--smoke)
     TABLE2_ARGS=()
+    FIG5_ARGS=(--scale=600 --threads=1,2,4)
     ;;
   full)
     FIG3_ARGS=(--full)
     FIG4_ARGS=(--full)
     TABLE2_ARGS=(--full)
+    FIG5_ARGS=(--full)
     ;;
 esac
 
@@ -73,6 +76,7 @@ run() { # run <bench-binary> <output-name> [args...]
 run fig3_sequential     BENCH_fig3.json   "${FIG3_ARGS[@]}"
 run fig4_parallel_insert BENCH_fig4.json  "${FIG4_ARGS[@]}"
 run table2_stats        BENCH_table2.json "${TABLE2_ARGS[@]}"
+run fig5_datalog        BENCH_fig5.json   "${FIG5_ARGS[@]}"
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== validating emitted JSON =="
@@ -80,7 +84,8 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 out = sys.argv[1]
 records = {}
-for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_table2.json"):
+for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_table2.json",
+             "BENCH_fig5.json"):
     with open(f"{out}/{name}") as f:
         records[name] = json.load(f)
     print(f"   {name}: parses ok")
@@ -105,6 +110,17 @@ for counter in ("sched_regions", "sched_tasks", "sched_threads_spawned",
                 "sched_steals"):
     assert m2.get(counter, 0) > 0, f"table2 counter {counter} is zero"
     print(f"   table2 {counter} = {m2[counter]}")
+
+fig5 = records["BENCH_fig5.json"]
+m5 = fig5["metrics"]
+# The end-to-end evaluation must have rotated delta->full through the sorted
+# bulk-merge path: whole runs streamed into the B-tree indexes, and at least
+# one empty-index rotation taking the packed-load fast path (the first
+# iteration of every recursive stratum qualifies). Zeros mean the engine
+# silently fell back to the O(|NEW|) point-insert staging loop.
+for counter in ("btree_bulk_runs", "btree_bulk_keys", "datalog_merge_fastpath"):
+    assert m5.get(counter, 0) > 0, f"fig5 counter {counter} is zero"
+    print(f"   fig5 {counter} = {m5[counter]}")
 EOF
 else
   echo "== python3 not found: skipping JSON validation =="

@@ -25,9 +25,10 @@ RUN_ASAN=1
 # persistent work-stealing pool (runtime_scheduler_test links only the
 # header-only datatree lib, so it is sanitizer-safe unlike the datalog suite).
 CONC_TARGETS=(torture_btree_test optimistic_lock_test btree_concurrent_test
-              btree_smallnode_test hints_test runtime_scheduler_test)
+              btree_smallnode_test hints_test runtime_scheduler_test
+              btree_bulk_merge_test)
 # ctest -R filter matching exactly the tests those targets register.
-CONC_FILTER='Torture|OptimisticLock|AbortWrite|Concurrent|SmallNode|Hint|Scheduler'
+CONC_FILTER='Torture|OptimisticLock|AbortWrite|Concurrent|SmallNode|Hint|Scheduler|BulkMerge|FromSorted|SampleSeparators'
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"

@@ -21,6 +21,7 @@
 #include <mutex>
 #include <set>
 #include <unordered_set>
+#include <vector>
 
 #include "baselines/classic_btree.h"
 #include "baselines/concurrent_hashset.h"
@@ -185,6 +186,18 @@ public:
             for (; it != e; ++it) fn(*it);
         }
 
+        /// Sorted bulk merge (the §3 specialised merge): one descent + lock
+        /// upgrade per leaf segment instead of one per key. Returns the
+        /// number of genuinely new keys.
+        template <typename It>
+        std::size_t insert_sorted_run(It first, It last) {
+            if constexpr (UseHints) {
+                return t_->insert_sorted_run(first, last, hints_);
+            } else {
+                return t_->insert_sorted_run(first, last);
+            }
+        }
+
         const HintStats& stats() const { return hints_.stats; }
 
     private:
@@ -221,6 +234,33 @@ public:
     template <typename Fn>
     void for_each_in_range(const key_type& lo, const key_type& hi, Fn&& fn) const {
         for (auto it = tree_.lower_bound(lo), e = tree_.upper_bound(hi); it != e; ++it) fn(*it);
+    }
+
+    // -- sorted bulk-merge surface (datalog delta->full rotation) ----------
+
+    using const_iterator = typename Tree::const_iterator;
+    const_iterator begin() const { return tree_.begin(); }
+    const_iterator end() const { return tree_.end(); }
+
+    /// Unhinted bound lookup over the sorted iteration — used to slice
+    /// another relation's index into per-worker sub-runs.
+    const_iterator lower_bound(const key_type& k) const {
+        return tree_.lower_bound(k);
+    }
+
+    /// Separator keys partitioning the key space into ~`target` ranges of
+    /// similar tree weight (see btree::sample_separators).
+    std::vector<key_type> partition_keys(std::size_t target) const {
+        return tree_.sample_separators(target);
+    }
+
+    /// Packed O(n) build from a sorted stream of known length; precondition:
+    /// this adapter is empty. Hints are reset — the empty tree had no nodes,
+    /// so no cached leaf can dangle into the new one.
+    template <typename It>
+    void build_sorted(It first, It last, std::size_t n) {
+        tree_ = Tree::from_sorted_stream(first, last, n);
+        hints_.reset();
     }
 
     local make_local(unsigned) { return local(tree_); }

@@ -26,12 +26,16 @@
 // thread). When the next key falls inside the cached leaf's key range, the
 // root-to-leaf traversal — and all its lock traffic — is skipped.
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <iterator>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "core/btree_detail.h"
 #include "core/comparator.h"
@@ -149,33 +153,118 @@ public:
         insert_all(first, last, h);
     }
 
-    /// Merges another tree of the same type into this one, exploiting the
-    /// source tree's sorted iteration order.
+    /// Merges another tree of the same type into this one as one sorted run:
+    /// the source's iteration order is sorted, so the whole merge collapses
+    /// to a handful of descents and lock upgrades per leaf segment instead
+    /// of one per key (the specialised merge of §3).
     template <typename OtherTree>
     void insert_all(const OtherTree& other) {
         operation_hints h;
-        insert_all(other.begin(), other.end(), h);
+        insert_sorted_run(other.begin(), other.end(), h);
+    }
+
+    /// Bulk insert of a SORTED run (strictly increasing for sets — equal
+    /// keys are deduplicated anyway — weakly for multisets). Locates the
+    /// target leaf once per run segment, merges keys into it in bulk up to
+    /// its upper separator under ONE lock upgrade (concurrent policy) or as
+    /// a plain in-place merge (seq policy), and splits in bulk. Returns the
+    /// number of genuinely new keys. Thread-safe against concurrent inserts
+    /// and other runs in the concurrent instantiation.
+    ///
+    /// Unsorted input stays CORRECT — an out-of-order key simply terminates
+    /// the current segment and re-descends, degrading to per-key cost — it
+    /// just forfeits the amortisation.
+    template <typename It>
+    std::size_t insert_sorted_run(It first, It last, operation_hints& hints) {
+        if (first == last) return 0;
+        DTREE_METRIC_INC(btree_bulk_runs);
+        std::size_t inserted = 0;
+        while (first != last) {
+            if constexpr (concurrent) {
+                if (root_.load_acquire() == nullptr) {
+                    first = bulk_init_root(first, last, hints, inserted);
+                    continue;
+                }
+                // The hint outcome is tallied once per SEGMENT, not per key —
+                // that per-segment accounting is exactly the probe saving the
+                // bulk path buys (segments ~ 2n/BlockSize vs n probes).
+                if (auto next = try_bulk_hint(first, last, hints, inserted)) {
+                    first = *next;
+                    continue;
+                }
+                for (;;) { // miss tallied above; restart without re-tallying
+                    if (auto next =
+                            try_bulk_segment(first, last, hints, inserted)) {
+                        first = *next;
+                        break;
+                    }
+                    DTREE_METRIC_INC(btree_restarts);
+                }
+            } else {
+                first = bulk_segment_seq(first, last, hints, inserted);
+            }
+        }
+        return inserted;
+    }
+
+    template <typename It>
+    std::size_t insert_sorted_run(It first, It last) {
+        operation_hints h;
+        return insert_sorted_run(first, last, h);
     }
 
     /// Bulk load: builds a packed tree from a SORTED random-access range in
-    /// O(n) — strictly increasing for sets, weakly for multisets (checked by
-    /// assertion). Every node is filled to BlockSize-1 keys (one slot of
+    /// O(n) — strictly increasing for sets, weakly for multisets. The
+    /// adjacent-pair sortedness check runs UNCONDITIONALLY (it is O(n)
+    /// against an O(n) build); unsorted input throws std::invalid_argument
+    /// instead of silently constructing a structurally broken tree in
+    /// release builds. Every node is filled to BlockSize-1 keys (one slot of
     /// slack so follow-up inserts do not split immediately), all leaves at
     /// equal depth. Not thread-safe (construction).
     template <typename It>
     static btree from_sorted(It first, It last) {
+        return from_sorted_stream(
+            first, last, static_cast<std::size_t>(std::distance(first, last)));
+    }
+
+    /// The same packed build from a forward (multipass) range of known
+    /// length `n` — e.g. another tree's sorted iteration — without
+    /// materialising a random-access copy: build_packed consumes its input
+    /// strictly in order. Validates sortedness and that `n` matches the
+    /// range BEFORE allocating any node (throws std::invalid_argument), so
+    /// a failed load never leaks.
+    template <typename It>
+    static btree from_sorted_stream(It first, It last, std::size_t n) {
         btree out;
-        const std::size_t n = static_cast<std::size_t>(last - first);
-        if (n == 0) return out;
-#ifndef NDEBUG
-        for (std::size_t i = 0; i + 1 < n; ++i) {
-            const int c = out.comp_(first[i], first[i + 1]);
-            assert((AllowDuplicates ? c <= 0 : c < 0) && "from_sorted: input not sorted");
+        {
+            std::size_t count = 0;
+            bool have_prev = false;
+            Key prev{};
+            for (It it = first; it != last; ++it) {
+                if (++count > n) {
+                    throw std::invalid_argument(
+                        "from_sorted: range longer than declared length");
+                }
+                const Key k = *it;
+                if (have_prev) {
+                    const int c = out.comp_(prev, k);
+                    if (c > 0 || (!AllowDuplicates && c == 0)) {
+                        throw std::invalid_argument("from_sorted: input not sorted");
+                    }
+                }
+                prev = k;
+                have_prev = true;
+            }
+            if (count != n) {
+                throw std::invalid_argument(
+                    "from_sorted: range shorter than declared length");
+            }
         }
-#endif
+        if (n == 0) return out;
         unsigned depth = 0;
         while (packed_capacity(depth) < n) ++depth;
-        out.root_.store(out.build_packed(first, 0, n, depth));
+        It it = first;
+        out.root_.store(out.build_packed(it, n, depth));
         return out;
     }
 
@@ -190,15 +279,17 @@ private:
         return cap;
     }
 
-    /// Builds a packed subtree over keys [lo, hi) of the input range; all
-    /// leaves end up at distance `depth` below the returned node.
+    /// Builds a packed subtree consuming `s` keys from the (by-reference)
+    /// sorted stream; all leaves end up at distance `depth` below the
+    /// returned node. Consumption is exactly in-order — leaf keys, then the
+    /// separator, then the next child — which is what lets the packed
+    /// loader run off a forward iterator.
     template <typename It>
-    NodeT* build_packed(It input, std::size_t lo, std::size_t hi, unsigned depth) {
-        const std::size_t s = hi - lo;
+    NodeT* build_packed(It& it, std::size_t s, unsigned depth) {
         if (depth == 0) {
             assert(s >= 1 && s <= BlockSize);
             NodeT* leaf = alloc_.make_leaf();
-            for (std::size_t i = 0; i < s; ++i) leaf->keys[i] = input[lo + i];
+            for (std::size_t i = 0; i < s; ++i, ++it) leaf->keys[i] = *it;
             leaf->num_elements.store(static_cast<std::uint32_t>(s));
             return leaf;
         }
@@ -210,17 +301,17 @@ private:
         assert(c <= BlockSize + 1);
         InnerT* node = alloc_.make_inner();
         const std::size_t r = s - (c - 1); // keys going into the children
-        std::size_t consumed = lo;
         for (std::size_t i = 0; i < c; ++i) {
             const std::size_t share = r / c + (i < r % c ? 1 : 0);
-            NodeT* child = build_packed(input, consumed, consumed + share, depth - 1);
-            consumed += share;
+            NodeT* child = build_packed(it, share, depth - 1);
             node->children[i].store(child);
             child->parent.store(node);
             child->position.store(static_cast<std::uint32_t>(i));
-            if (i + 1 < c) node->keys[i] = input[consumed++]; // separator
+            if (i + 1 < c) {
+                node->keys[i] = *it; // separator
+                ++it;
+            }
         }
-        assert(consumed == hi);
         node->num_elements.store(static_cast<std::uint32_t>(c - 1));
         return node;
     }
@@ -399,6 +490,59 @@ public:
         tree_stats s;
         collect_stats(root_.load(), 1, s);
         return s;
+    }
+
+    /// Sorted sample of at most `target - 1` keys that partition the key
+    /// space into ~`target` ranges of similar subtree weight, taken from the
+    /// shallowest tree level holding enough separators (so each range spans
+    /// whole subtrees). Used to fan a bulk merge out over workers: worker p
+    /// gets [sep[p-1], sep[p]). Phase-concurrent read side (no writers);
+    /// partition bounds only need to be sorted, not tight. Returns an empty
+    /// vector (one range) when the tree is too small to partition.
+    std::vector<Key> sample_separators(std::size_t target) const {
+        std::vector<Key> out;
+        if (target < 2) return out;
+        const NodeT* root = root_.load();
+        if (!root || !root->inner) return out;
+        std::vector<const NodeT*> level{root};
+        for (;;) {
+            std::size_t keys = 0;
+            for (const NodeT* n : level) keys += n->num_elements.load();
+            const bool children_inner =
+                level.front()->as_inner()->children[0].load()->inner;
+            if (keys + 1 >= target || !children_inner) {
+                // Concatenated keys of one level, left to right, are sorted.
+                out.reserve(keys);
+                for (const NodeT* n : level) {
+                    const unsigned cnt = n->num_elements.load();
+                    for (unsigned i = 0; i < cnt; ++i) {
+                        out.push_back(Access::load(n->keys[i]));
+                    }
+                }
+                break;
+            }
+            std::vector<const NodeT*> next;
+            for (const NodeT* n : level) {
+                const InnerT* in = n->as_inner();
+                const unsigned cnt = in->num_elements.load();
+                for (unsigned i = 0; i <= cnt; ++i) {
+                    next.push_back(in->children[i].load());
+                }
+            }
+            level.swap(next);
+        }
+        if (out.size() + 1 > target) {
+            // Downsample evenly; indices stay strictly increasing because
+            // out.size() >= target here.
+            std::vector<Key> sampled;
+            sampled.reserve(target - 1);
+            const std::size_t m = out.size();
+            for (std::size_t j = 0; j + 1 < target; ++j) {
+                sampled.push_back(out[(j + 1) * m / target]);
+            }
+            out.swap(sampled);
+        }
+        return out;
     }
 
     /// Structural validation used by the test suite (sequential use only):
@@ -777,6 +921,331 @@ private:
         right_child->parent.store(parent);
         right_child->position.store(pos + 1);
         parent->num_elements.store(n + 1);
+    }
+
+    // -- sorted bulk merge (insert_sorted_run machinery) ----------------------
+
+    /// Merges keys from the sorted stream [first, last) into `leaf`, to which
+    /// the caller holds EXCLUSIVE access (write lock / seq policy). Stops at
+    /// the first key that is out of order, beyond the bound `hi` (exclusive
+    /// unless hi_inclusive), or that no longer fits. In-tree duplicates are
+    /// consumed without insertion for sets — including keys equal to an
+    /// exclusive `hi`, because in this classic B-tree a separator IS an
+    /// element of the set. Sets need_split when input is still pending and
+    /// the leaf is (or just became) exactly full, which is precisely the
+    /// split precondition. Returns the first unconsumed iterator; consumes at
+    /// least one key unless it requests a split.
+    template <typename It>
+    It leaf_fill_sorted(NodeT* leaf, It first, It last, const Key* hi,
+                        bool hi_inclusive, std::size_t& inserted,
+                        bool& need_split) {
+        const unsigned n = leaf->num_elements.load();
+        Key buf[BlockSize]; // merged image; committed only if keys were taken
+        unsigned nb = 0;    // keys staged into buf
+        unsigned i = 0;     // existing keys consumed into buf
+        unsigned taken = 0; // incoming keys admitted
+        const unsigned room = BlockSize - n;
+        std::size_t consumed = 0;
+        Key prev{};
+        bool have_prev = false;
+        need_split = false;
+        while (first != last) {
+            const Key k = *first;
+            // Out-of-order input ends the segment (correct, just unamortised).
+            if (have_prev && comp_(k, prev) < 0) break;
+            if (hi) {
+                const int c = comp_(k, *hi);
+                if (hi_inclusive ? c > 0 : c >= 0) {
+                    if constexpr (!AllowDuplicates) {
+                        if (!hi_inclusive && c == 0) {
+                            // Equal to the ancestor separator => already an
+                            // element of the set: consume, don't insert.
+                            ++first;
+                            ++consumed;
+                            prev = k;
+                            have_prev = true;
+                            continue;
+                        }
+                    }
+                    break; // key belongs beyond this leaf
+                }
+            }
+            // Stage existing keys preceding k. Multisets also stage equal
+            // keys first, preserving the existing-before-incoming order the
+            // point-insert path (upper-bound search) produces.
+            while (i < n) {
+                const int c = comp_(leaf->keys[i], k); // exclusive: plain read
+                if (AllowDuplicates ? c > 0 : c >= 0) break;
+                buf[nb++] = leaf->keys[i++];
+            }
+            if constexpr (!AllowDuplicates) {
+                if ((i < n && comp_.equal(leaf->keys[i], k)) ||
+                    (nb > 0 && comp_.equal(buf[nb - 1], k))) {
+                    ++first; // duplicate of an existing or just-admitted key
+                    ++consumed;
+                    prev = k;
+                    have_prev = true;
+                    continue;
+                }
+            }
+            if (taken == room) {
+                need_split = true; // pending input, full leaf after write-back
+                break;
+            }
+            buf[nb++] = k;
+            ++taken;
+            ++inserted;
+            ++consumed;
+            ++first;
+            prev = k;
+            have_prev = true;
+        }
+        if (taken > 0) {
+            while (i < n) buf[nb++] = leaf->keys[i++];
+            assert(!need_split || nb == BlockSize);
+            for (unsigned j = 0; j < nb; ++j) {
+                Access::store(leaf->keys[j], buf[j]);
+            }
+            leaf->num_elements.store(nb);
+        }
+        DTREE_METRIC_ADD(btree_bulk_keys, consumed);
+        return first;
+    }
+
+    /// Creates the root leaf from the head of the run, filled to the packed
+    /// grade (BlockSize-1 keys). Losing the creation race consumes nothing;
+    /// the caller re-dispatches.
+    template <typename It>
+    It bulk_init_root(It first, It last, operation_hints& hints,
+                      std::size_t& inserted) {
+        if (!root_lock_.try_start_write()) {
+            cpu_relax();
+            return first;
+        }
+        if (root_.load() != nullptr) {
+            root_lock_.abort_write(); // lost the race; nothing modified
+            return first;
+        }
+        NodeT* leaf = alloc_.make_leaf(); // unpublished: plain stores are fine
+        unsigned nb = 0;
+        std::size_t consumed = 0;
+        Key prev{};
+        bool have_prev = false;
+        while (first != last && nb < BlockSize - 1) {
+            const Key k = *first;
+            if (have_prev) {
+                const int c = comp_(prev, k);
+                if (c > 0) break; // out of order: next segment re-descends
+                if (!AllowDuplicates && c == 0) {
+                    ++first;
+                    ++consumed;
+                    continue;
+                }
+            }
+            leaf->keys[nb++] = k;
+            ++inserted;
+            ++consumed;
+            ++first;
+            prev = k;
+            have_prev = true;
+        }
+        leaf->num_elements.store(nb);
+        root_.store_release(leaf);
+        root_lock_.end_write();
+        hints.stats.miss(HintKind::Insert); // cold slot on first insert
+        hints.set(HintKind::Insert, leaf);
+        DTREE_METRIC_ADD(btree_bulk_keys, consumed);
+        return first;
+    }
+
+    /// Hint fast path for one bulk segment: upgrade the cached leaf directly
+    /// and fill up to its own last key (inclusive — within [keys[0],
+    /// keys[n-1]] the leaf is authoritative regardless of ancestor
+    /// separators). nullopt falls through to the descent path.
+    template <typename It>
+    std::optional<It> try_bulk_hint(It first, It last, operation_hints& hints,
+                                    std::size_t& inserted) {
+        NodeT* leaf = hints.get(HintKind::Insert);
+        if (!leaf) {
+            hints.stats.miss(HintKind::Insert);
+            return std::nullopt;
+        }
+        const Lease lease = leaf->lock.start_read();
+        if (!leaf_covers(leaf, *first) || !leaf->lock.validate(lease)) {
+            hints.stats.miss(HintKind::Insert);
+            return std::nullopt;
+        }
+        DTREE_FAILPOINT_DELAY(upgrade_delay);
+        if (!leaf->lock.try_upgrade_to_write(lease)) {
+            hints.stats.miss(HintKind::Insert);
+            return std::nullopt;
+        }
+        hints.stats.hit(HintKind::Insert);
+        const unsigned n = leaf->num_elements.load(); // exact: write-locked
+        const Key hi = leaf->keys[n - 1];
+        bool need_split = false;
+        It next = leaf_fill_sorted(leaf, first, last, &hi,
+                                   /*hi_inclusive=*/true, inserted, need_split);
+        if (need_split) {
+            split_concurrent(leaf);
+            leaf->lock.end_write();
+        } else {
+            leaf->lock.end_write();
+        }
+        return next;
+    }
+
+    /// One optimistic descent to the leaf covering *first, then a bulk fill
+    /// of that leaf under a single lock upgrade — the amortisation the whole
+    /// path exists for. Tracks the tightest upper separator passed on the
+    /// way down; the bound stays valid while the leaf's version holds (only
+    /// a split of the LEAF narrows its key range, and that bumps the version
+    /// the upgrade validates — the same argument Alg. 1 makes for point
+    /// inserts). nullopt means "conflict detected, restart".
+    template <typename It>
+    std::optional<It> try_bulk_segment(It first, It last,
+                                       operation_hints& hints,
+                                       std::size_t& inserted) {
+        // Safely obtain the root node and a lease on it (as Alg. 1).
+        Lease root_lease, cur_lease;
+        NodeT* cur;
+        do {
+            root_lease = root_lock_.start_read();
+            cur = root_.load_acquire();
+            cur_lease = cur->lock.start_read();
+        } while (!root_lock_.end_read(root_lease));
+
+        const Key k = *first;
+        Key hi{};
+        bool has_hi = false;
+        for (;;) {
+            const unsigned n = cur->num_elements.load();
+            const unsigned pos = search_pos_racy(cur->keys, n, k);
+            if (cur->inner) {
+                // Copy the separator BEFORE validating; commit it after.
+                // Descending right of all keys (pos == n) keeps the
+                // ancestor's bound, else keys[pos] is tighter.
+                Key hi_cand{};
+                bool cand = false;
+                if (pos < n) {
+                    hi_cand = Access::load(cur->keys[pos]);
+                    cand = true;
+                }
+                NodeT* next = cur->as_inner()->children[pos].load();
+                if (!cur->lock.validate(cur_lease)) return std::nullopt;
+                if (cand) {
+                    hi = hi_cand;
+                    has_hi = true;
+                }
+                const Lease next_lease = next->lock.start_read();
+                if (!cur->lock.validate(cur_lease)) return std::nullopt;
+                cur = next;
+                cur_lease = next_lease;
+                continue;
+            }
+            // Located the target leaf: one upgrade covers the whole segment.
+            if (DTREE_FAILPOINT(leaf_retry)) {
+                DTREE_METRIC_INC(btree_leaf_retries);
+                return std::nullopt;
+            }
+            DTREE_FAILPOINT_DELAY(upgrade_delay);
+            if (!cur->lock.try_upgrade_to_write(cur_lease)) {
+                DTREE_METRIC_INC(btree_leaf_retries);
+                return std::nullopt;
+            }
+            bool need_split = false;
+            It next = leaf_fill_sorted(cur, first, last,
+                                       has_hi ? &hi : nullptr,
+                                       /*hi_inclusive=*/false, inserted,
+                                       need_split);
+            if (need_split) {
+                split_concurrent(cur);
+                cur->lock.end_write();
+            } else {
+                cur->lock.end_write();
+                hints.set(HintKind::Insert, cur);
+            }
+            return next;
+        }
+    }
+
+    /// Sequential bulk segment: hinted or plain descent, then an in-place
+    /// merge into the target leaf (plain stores — no lock, no atomics);
+    /// splits via split_and_propagate and lets the caller re-dispatch.
+    template <typename It>
+    It bulk_segment_seq(It first, It last, operation_hints& hints,
+                        std::size_t& inserted) {
+        NodeT* cur = root_.load();
+        if (!cur) {
+            NodeT* leaf = alloc_.make_leaf();
+            unsigned nb = 0;
+            std::size_t consumed = 0;
+            Key prev{};
+            bool have_prev = false;
+            while (first != last && nb < BlockSize - 1) {
+                const Key k = *first;
+                if (have_prev) {
+                    const int c = comp_(prev, k);
+                    if (c > 0) break;
+                    if (!AllowDuplicates && c == 0) {
+                        ++first;
+                        ++consumed;
+                        continue;
+                    }
+                }
+                leaf->keys[nb++] = k;
+                ++inserted;
+                ++consumed;
+                ++first;
+                prev = k;
+                have_prev = true;
+            }
+            leaf->num_elements.store(nb);
+            root_.store(leaf);
+            hints.stats.miss(HintKind::Insert);
+            hints.set(HintKind::Insert, leaf);
+            DTREE_METRIC_ADD(btree_bulk_keys, consumed);
+            return first;
+        }
+        const Key k = *first;
+        if (NodeT* h = hints.get(HintKind::Insert); h && leaf_covers(h, k)) {
+            hints.stats.hit(HintKind::Insert);
+            const unsigned n = h->num_elements.load();
+            const Key hi = h->keys[n - 1];
+            bool need_split = false;
+            It next = leaf_fill_sorted(h, first, last, &hi,
+                                       /*hi_inclusive=*/true, inserted,
+                                       need_split);
+            if (need_split) {
+                split_and_propagate(h);
+            } else {
+                hints.set(HintKind::Insert, h);
+            }
+            return next;
+        }
+        hints.stats.miss(HintKind::Insert);
+        Key hi{};
+        bool has_hi = false;
+        for (;;) {
+            const unsigned n = cur->num_elements.load();
+            const unsigned pos = search_pos(cur->keys, n, k);
+            if (!cur->inner) break;
+            if (pos < n) {
+                hi = cur->keys[pos];
+                has_hi = true;
+            }
+            cur = cur->as_inner()->children[pos].load();
+        }
+        bool need_split = false;
+        It next = leaf_fill_sorted(cur, first, last, has_hi ? &hi : nullptr,
+                                   /*hi_inclusive=*/false, inserted,
+                                   need_split);
+        if (need_split) {
+            split_and_propagate(cur);
+        } else {
+            hints.set(HintKind::Insert, cur);
+        }
+        return next;
     }
 
     // -- helpers --------------------------------------------------------------

@@ -270,8 +270,21 @@ private:
         for (std::size_t rel : stratum.relations) {
             delta[rel] = make_scratch(rel);
             fresh[rel] = make_scratch(rel);
-            auto view = delta[rel]->local_view(0);
-            relations_[rel]->for_each([&](const StorageTuple& t) { view.insert(t); });
+            if constexpr (RelationT::bulk_mergeable) {
+                // Delta := FULL as a packed O(n) build per index — the
+                // delta-rotation fast path: no per-tuple probes, no hint
+                // traffic, nodes filled to the packed grade.
+                if (!relations_[rel]->empty()) {
+                    for (unsigned idx = 0; idx < delta[rel]->index_count(); ++idx) {
+                        delta[rel]->bulk_load_index_from(idx, *relations_[rel]);
+                        DTREE_METRIC_INC(datalog_merge_fastpath);
+                    }
+                }
+            } else {
+                auto view = delta[rel]->local_view(0);
+                relations_[rel]->for_each(
+                    [&](const StorageTuple& t) { view.insert(t); });
+            }
         }
 
         // Phase 3: fixpoint.
@@ -326,19 +339,53 @@ private:
                                            indexes_.relation_indexes[rel]);
     }
 
-    /// Pooled parallel merge of a NEW relation into FULL; sorted iteration
-    /// order makes this the hint-friendly specialised merge of §3, and the
-    /// cached per-worker views keep those hints warm across iterations.
+    /// Pooled parallel merge of a NEW relation into FULL — the specialised
+    /// merge of §3. Bulk-mergeable storage (the B-tree adapters) streams
+    /// NEW's sorted indexes straight into FULL as sorted runs: no staging
+    /// vector, one descent + lock upgrade per leaf segment, fanned out over
+    /// the pool in ranges cut at FULL's own separator keys so workers merge
+    /// into disjoint leaf ranges. An index FULL holds nothing in yet is
+    /// rebuilt by the packed loader instead (first merge of a
+    /// non-seeded recursive relation). Other storages keep the generic
+    /// point-insert path.
     void merge_into_full(std::size_t rel, RelationT& nw) {
         DTREE_METRIC_TIMER(datalog_merge_ns);
-        std::vector<StorageTuple> tuples;
-        nw.for_each([&](const StorageTuple& t) { tuples.push_back(t); });
-        runtime::Scheduler::instance().parallel_for(
-            tuples.size(), threads_, {mode_, grain_},
-            [&](unsigned wid, std::size_t b, std::size_t e) {
-                auto& view = views_.get(wid, *relations_[rel], false);
-                for (std::size_t i = b; i < e; ++i) view.insert(tuples[i]);
-            });
+        RelationT& full = *relations_[rel];
+        if constexpr (RelationT::bulk_mergeable) {
+            for (unsigned idx = 0; idx < full.index_count(); ++idx) {
+                if (full.index_empty(idx)) {
+                    full.bulk_load_index_from(idx, nw);
+                    DTREE_METRIC_INC(datalog_merge_fastpath);
+                    continue;
+                }
+                // NEW and FULL are disjoint (the engine filters against FULL
+                // before NEW), so each index receives every tuple exactly
+                // once and indexes can merge independently.
+                const auto seps =
+                    full.partition_keys(idx, threads_ > 1 ? threads_ * 4 : 1);
+                const std::size_t parts = seps.size() + 1;
+                runtime::Scheduler::instance().parallel_for(
+                    parts, threads_, {mode_, 1},
+                    [&](unsigned wid, std::size_t b, std::size_t e) {
+                        auto& view = views_.get(wid, full, false);
+                        for (std::size_t p = b; p < e; ++p) {
+                            view.insert_sorted_run(
+                                idx, nw, p == 0 ? nullptr : &seps[p - 1],
+                                p + 1 < parts ? &seps[p] : nullptr);
+                        }
+                    });
+            }
+            return;
+        } else {
+            std::vector<StorageTuple> tuples;
+            nw.for_each([&](const StorageTuple& t) { tuples.push_back(t); });
+            runtime::Scheduler::instance().parallel_for(
+                tuples.size(), threads_, {mode_, grain_},
+                [&](unsigned wid, std::size_t b, std::size_t e) {
+                    auto& view = views_.get(wid, full, false);
+                    for (std::size_t i = b; i < e; ++i) view.insert(tuples[i]);
+                });
+        }
     }
 
     /// Evaluates one rule (or one delta-variant of it): delta_atom is the

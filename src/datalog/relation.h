@@ -101,6 +101,44 @@ public:
     /// Moves the contents of another relation in (delta := new).
     void swap_contents(Relation& other) { indexes_.swap(other.indexes_); }
 
+    // -- sorted bulk merge (delta->full rotation) ----------------------------
+
+    /// Does the storage expose the full bulk-merge surface (sorted iteration,
+    /// bound slicing, separator sampling, packed build)? True for the B-tree
+    /// adapters; false routes the evaluator to the generic point-insert path.
+    static constexpr bool bulk_mergeable = requires(
+        Storage& s, const Storage& cs, typename Storage::local& l,
+        const StorageTuple& t) {
+        l.insert_sorted_run(cs.begin(), cs.end());
+        cs.lower_bound(t);
+        cs.partition_keys(std::size_t{});
+        s.build_sorted(cs.begin(), cs.end(), std::size_t{});
+    };
+
+    bool index_empty(unsigned idx) const
+        requires(bulk_mergeable)
+    {
+        return indexes_[idx]->empty();
+    }
+
+    /// Separator keys splitting index `idx`'s key space into ~`target`
+    /// ranges of similar weight (keys are in the INDEX's permuted order).
+    std::vector<StorageTuple> partition_keys(unsigned idx, std::size_t target) const
+        requires(bulk_mergeable)
+    {
+        return indexes_[idx]->partition_keys(target);
+    }
+
+    /// Packed O(n) rebuild of index `idx` from the same index of `src`
+    /// (identical index orders assumed — the evaluator's scratch relations
+    /// share the relation's order list). Precondition: this index is empty.
+    void bulk_load_index_from(unsigned idx, const Relation& src)
+        requires(bulk_mergeable)
+    {
+        const Storage& s = *src.indexes_[idx];
+        indexes_[idx]->build_sorted(s.begin(), s.end(), src.size());
+    }
+
     void clear() {
         for (auto& idx : indexes_) idx->clear();
     }
@@ -200,6 +238,30 @@ public:
         template <typename Fn>
         void scan_all(Fn&& fn) {
             rel_->indexes_[0]->for_each(fn);
+        }
+
+        /// Streams the [lo, hi) slice — nullptr = open end — of `src`'s
+        /// index `idx` into the same index of this view's relation as ONE
+        /// sorted run: no staging vector, one descent + lock upgrade per
+        /// leaf segment. Bounds are keys in the index's permuted order
+        /// (e.g. from partition_keys), so disjoint slices land in disjoint
+        /// leaf ranges and workers merging them rarely contend. Returns the
+        /// number of genuinely new tuples.
+        std::size_t insert_sorted_run(unsigned idx, const Relation& src,
+                                      const StorageTuple* lo,
+                                      const StorageTuple* hi)
+            requires(bulk_mergeable)
+        {
+            const Storage& s = *src.indexes_[idx];
+            auto first = lo ? s.lower_bound(*lo) : s.begin();
+            auto last = hi ? s.lower_bound(*hi) : s.end();
+            const std::size_t fresh = locals_[idx].insert_sorted_run(first, last);
+            // Table 2 accounting: the primary index decides set semantics,
+            // and NEW is disjoint from FULL by construction (the engine
+            // filters against FULL before inserting into NEW), so every
+            // streamed tuple is one logical insert.
+            if (idx == 0) counters_.inserts += fresh;
+            return fresh;
         }
 
         const OpCounters& counters() const { return counters_; }

@@ -100,6 +100,14 @@ AnalyzedProgram analyze(Program program) {
     // -- resolve declarations -------------------------------------------------
     for (const auto& d : program.declarations) {
         if (out.decl_index.count(d.name)) fail("relation '" + d.name + "' declared twice");
+        // Tuples are stored in fixed-capacity StorageTuple arrays; admitting
+        // a wider relation would silently write past the tuple (the engine
+        // pads every column up to kMaxArity).
+        if (d.arity() > kMaxArity) {
+            fail("relation '" + d.name + "' declared with arity " +
+                 std::to_string(d.arity()) + ", but tuple storage holds at most " +
+                 std::to_string(kMaxArity) + " columns");
+        }
         out.decl_index[d.name] = out.decls.size();
         out.decls.push_back(d);
         // Programs built programmatically may omit types: default to number.

@@ -51,6 +51,8 @@ enum class Counter : unsigned {
     btree_leaf_splits,        ///< leaf-level node splits
     btree_inner_splits,       ///< inner-node splits (incl. recursive)
     btree_root_replacements,  ///< tree grew a level (new root published)
+    btree_bulk_runs,          ///< insert_sorted_run calls (sorted bulk merges)
+    btree_bulk_keys,          ///< keys consumed by bulk leaf fills (incl. dups)
     // core/node_allocator.h
     alloc_leaf_nodes,  ///< leaf nodes allocated (any policy)
     alloc_inner_nodes, ///< inner nodes allocated (any policy)
@@ -70,6 +72,8 @@ enum class Counter : unsigned {
     datalog_merge_ns,            ///< wall time merging NEW into FULL
     datalog_fixpoint_iterations, ///< fixpoint loop iterations across strata
     datalog_tuples_derived,      ///< genuinely new head tuples inserted
+    datalog_merge_fastpath,      ///< empty-destination packed builds (per index)
+                                 ///< in the merge / delta-rotation paths
     // runtime/scheduler.h
     sched_regions,         ///< parallel regions dispatched to the pool
     sched_tasks,           ///< chunks executed (any worker, any mode)
@@ -92,6 +96,8 @@ inline const char* counter_name(Counter c) {
         case Counter::btree_leaf_splits: return "btree_leaf_splits";
         case Counter::btree_inner_splits: return "btree_inner_splits";
         case Counter::btree_root_replacements: return "btree_root_replacements";
+        case Counter::btree_bulk_runs: return "btree_bulk_runs";
+        case Counter::btree_bulk_keys: return "btree_bulk_keys";
         case Counter::alloc_leaf_nodes: return "alloc_leaf_nodes";
         case Counter::alloc_inner_nodes: return "alloc_inner_nodes";
         case Counter::arena_chunks: return "arena_chunks";
@@ -108,6 +114,7 @@ inline const char* counter_name(Counter c) {
         case Counter::datalog_merge_ns: return "datalog_merge_ns";
         case Counter::datalog_fixpoint_iterations: return "datalog_fixpoint_iterations";
         case Counter::datalog_tuples_derived: return "datalog_tuples_derived";
+        case Counter::datalog_merge_fastpath: return "datalog_merge_fastpath";
         case Counter::sched_regions: return "sched_regions";
         case Counter::sched_tasks: return "sched_tasks";
         case Counter::sched_steals: return "sched_steals";

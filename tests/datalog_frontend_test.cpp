@@ -135,6 +135,31 @@ TEST(Semantics, RejectsUngroundedHeadsAndNegation) {
     EXPECT_THROW(compile(".decl a(x:number)\na(x)."), std::runtime_error); // variable fact
 }
 
+TEST(Semantics, RejectsArityBeyondTupleCapacity) {
+    // The parser guards arity for textual programs, but a Program built
+    // programmatically goes straight to analyze(); before the fix an
+    // arity-33 declaration sailed through and the engine's fixed-capacity
+    // StorageTuple writes would run past the tuple. The analyzer must
+    // reject it with a diagnostic naming the relation and the capacity.
+    Program program;
+    RelationDecl wide;
+    wide.name = "wide";
+    for (int i = 0; i < 33; ++i) {
+        wide.attribute_names.push_back("c" + std::to_string(i));
+        wide.attribute_types.push_back(AttrType::Number);
+    }
+    program.declarations.push_back(wide);
+    try {
+        analyze(std::move(program));
+        FAIL() << "expected a semantic error for arity 33";
+    } catch (const std::runtime_error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("wide"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("arity 33"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("at most 4"), std::string::npos) << msg;
+    }
+}
+
 TEST(Semantics, RejectsUnstratifiableNegation) {
     EXPECT_THROW(compile(R"(
 .decl a(x:number)

@@ -17,6 +17,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <set>
+#include <string>
 #include <vector>
 
 namespace {
@@ -189,6 +191,94 @@ TEST_F(TortureTest, PoolCleanBlock3) { run_pool_torture<3>(301, false); }
 TEST_F(TortureTest, PoolCleanBlock11) { run_pool_torture<11>(302, false); }
 TEST_F(TortureTest, PoolInjectedBlock3) { run_pool_torture<3>(401, true); }
 TEST_F(TortureTest, PoolInjectedBlock4) { run_pool_torture<4>(402, true); }
+
+// -- pool-driven bulk-merge torture ------------------------------------------
+// Concurrent insert_sorted_run: many overlapping sorted runs fanned out on
+// the work-stealing pool into one shared tree, cross-checked against a
+// std::set oracle. Failpoints stretch the same windows the point-insert
+// torture does (lost upgrades, leaf retries, split delays) plus the
+// scheduler's steal window, so stolen chunks land bulk segments into leaves
+// that a concurrent run is splitting.
+
+template <unsigned B>
+void run_bulk_pool_torture(std::uint64_t seed, bool inject) {
+    using Key = std::uint64_t;
+    if (inject) {
+        TortureTest::arm_failpoints(seed);
+        fail::set_probability(fail::Site::sched_steal_delay, 0.2);
+        fail::set_delay(fail::Site::sched_steal_delay, 200);
+        fail::set_probability(fail::Site::sched_worker_stall, 0.5);
+        fail::set_delay(fail::Site::sched_worker_stall, 400);
+    }
+
+    constexpr unsigned kTeam = 4;
+    constexpr std::size_t kRuns = 48;
+    constexpr std::size_t kRunLen = 300;
+    // Deterministic overlapping runs: run r covers a window of the key space
+    // with stride 3, shifted by r, so most keys collide across runs.
+    std::vector<std::vector<Key>> runs(kRuns);
+    std::set<Key> oracle;
+    for (std::size_t r = 0; r < kRuns; ++r) {
+        const Key base = (r % 8) * 500 + seed % 97;
+        for (std::size_t i = 0; i < kRunLen; ++i) {
+            runs[r].push_back(base + i * 3 + r % 3);
+        }
+        oracle.insert(runs[r].begin(), runs[r].end());
+    }
+
+    Tree<B> tree;
+    // Pre-seed so runs also hit the non-empty descent path, not just
+    // bulk_init_root.
+    {
+        typename Tree<B>::operation_hints h;
+        for (Key k = 0; k < 2000; k += 7) {
+            tree.insert(k, h);
+            oracle.insert(k);
+        }
+    }
+
+    auto& sched = dtree::runtime::Scheduler::instance();
+    const auto before = sched.stats();
+    std::vector<typename Tree<B>::operation_hints> hints(kTeam);
+    sched.parallel_for(
+        kRuns, kTeam,
+        {dtree::runtime::SchedMode::Steal, /*grain=*/1},
+        [&](unsigned wid, std::size_t b, std::size_t e) {
+            for (std::size_t r = b; r < e; ++r) {
+                tree.insert_sorted_run(runs[r].begin(), runs[r].end(),
+                                       hints[wid]);
+            }
+        });
+    const auto after = sched.stats();
+    EXPECT_GT(after.regions, before.regions)
+        << "bulk runs must have executed as a pool region";
+
+    const std::string err = tree.check_invariants();
+    ASSERT_TRUE(err.empty()) << err;
+    std::vector<Key> got(tree.begin(), tree.end());
+    std::vector<Key> want(oracle.begin(), oracle.end());
+    ASSERT_EQ(got, want)
+        << "concurrent bulk merge diverged from the set oracle";
+    if (inject) {
+        EXPECT_GT(fail::fires(fail::Site::upgrade_delay), 0u);
+        EXPECT_GT(fail::fires(fail::Site::sched_steal_delay) +
+                      fail::fires(fail::Site::sched_worker_stall),
+                  0u);
+    }
+}
+
+TEST_F(TortureTest, PoolBulkMergeCleanBlock3) {
+    run_bulk_pool_torture<3>(501, false);
+}
+TEST_F(TortureTest, PoolBulkMergeCleanBlock11) {
+    run_bulk_pool_torture<11>(502, false);
+}
+TEST_F(TortureTest, PoolBulkMergeInjectedBlock3) {
+    run_bulk_pool_torture<3>(601, true);
+}
+TEST_F(TortureTest, PoolBulkMergeInjectedBlock5) {
+    run_bulk_pool_torture<5>(602, true);
+}
 
 // Multiple seeds at the smallest node size: distinct schedules + distinct
 // injection streams.
