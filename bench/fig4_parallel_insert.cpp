@@ -2,6 +2,7 @@
 //
 //   ./build/bench/fig4_parallel_insert [--full] [--n=2000000] [--threads=1,2,4,8]
 //                                      [--sched=blocks|steal] [--grain=N]
+//                                      [--search=default|linear|binary|simd]
 //                                      [--json=FILE] [--smoke]
 //
 // --json writes the machine-readable run record (see bench/common.h);
@@ -10,6 +11,9 @@
 // (runtime/scheduler.h): the default `blocks` keeps the paper's static
 // contiguous partition (now on the persistent pool); `steal` cuts the insert
 // range into grain-sized chunks rebalanced by work stealing.
+// --search overrides the in-node search policy of the "btree" rows (the
+// baselines never change): the scaling counterpart of bench/ablation_search,
+// isolating the SimdSearch kernel's contribution under contention.
 //
 // (a) ordered, single-socket thread counts {1..16}
 // (b) random,  single-socket thread counts {1..16}
@@ -60,6 +64,34 @@ std::vector<Point> make_input(std::size_t n, bool ordered, unsigned threads) {
     return pts;
 }
 
+/// In-node search policy override for the our-btree rows (--search=). The
+/// adapters stay on the canonical row names so JSON consumers see the same
+/// schema whichever kernel ran; the `config` section records the choice.
+enum class SearchMode { Default, Linear, Binary, Simd };
+
+bool parse_search(const std::string& s, SearchMode& out) {
+    if (s.empty() || s == "default") {
+        out = SearchMode::Default;
+    } else if (s == "linear") {
+        out = SearchMode::Linear;
+    } else if (s == "binary") {
+        out = SearchMode::Binary;
+    } else if (s == "simd") {
+        out = SearchMode::Simd;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+SearchMode g_search = SearchMode::Default;
+
+template <typename Search, bool UseHints>
+using OurBTreeWith = BTreeAdapterImpl<
+    btree<Point, ThreeWayComparator<Point>,
+          detail::default_block_size<Point>(), Search>,
+    UseHints, true>;
+
 template <typename Adapter>
 double run_one(const std::vector<Point>& pts, unsigned threads) {
     Adapter set = [&] {
@@ -78,6 +110,21 @@ double run_one(const std::vector<Point>& pts, unsigned threads) {
     return static_cast<double>(pts.size()) / t.elapsed_s() / 1e6;
 }
 
+template <bool UseHints>
+double run_our(const std::vector<Point>& pts, unsigned threads) {
+    switch (g_search) {
+        case SearchMode::Linear:
+            return run_one<OurBTreeWith<detail::LinearSearch, UseHints>>(pts, threads);
+        case SearchMode::Binary:
+            return run_one<OurBTreeWith<detail::BinarySearch, UseHints>>(pts, threads);
+        case SearchMode::Simd:
+            return run_one<OurBTreeWith<detail::SimdSearch, UseHints>>(pts, threads);
+        case SearchMode::Default:
+            break;
+    }
+    return run_one<BTreeAdapterImpl<btree_set<Point>, UseHints, true>>(pts, threads);
+}
+
 void run_section(const char* title, std::size_t n, bool ordered,
                  const std::vector<unsigned>& threads, JsonReport& report) {
     util::SeriesTable table(title, "threads");
@@ -87,11 +134,11 @@ void run_section(const char* title, std::size_t n, bool ordered,
 
     for (unsigned t : threads) {
         const auto pts = make_input(n, ordered, t);
-        table.add("btree", run_one<OurBTreeAdapter<Point>>(pts, t));
+        table.add("btree", run_our<true>(pts, t));
     }
     for (unsigned t : threads) {
         const auto pts = make_input(n, ordered, t);
-        table.add("btree (n/h)", run_one<OurBTreeNoHintsAdapter<Point>>(pts, t));
+        table.add("btree (n/h)", run_our<false>(pts, t));
     }
     for (unsigned t : threads) {
         const auto pts = make_input(n, ordered, t);
@@ -127,6 +174,12 @@ int main(int argc, char** argv) {
     }
     if (const std::size_t grain = cli.get_u64("grain", 0)) {
         dtree::runtime::set_default_grain(grain);
+    }
+    const std::string search = cli.get_str("search", "");
+    if (search != "1" && !parse_search(search, g_search)) {
+        std::fprintf(stderr, "unknown --search=%s (default|linear|binary|simd)\n",
+                     search.c_str());
+        return 2;
     }
 
     const auto single = cli.get_list("threads", {1, 2, 4, 8, 12, 16});

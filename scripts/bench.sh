@@ -40,7 +40,8 @@ BUILD=build-metrics
 echo "== configuring $BUILD (DATATREE_METRICS=ON, mode: $MODE) =="
 cmake -B "$BUILD" -S . -DDATATREE_METRICS=ON >/dev/null
 cmake --build "$BUILD" -j"$JOBS" \
-  --target fig3_sequential fig4_parallel_insert table2_stats fig5_datalog
+  --target fig3_sequential fig4_parallel_insert table2_stats fig5_datalog \
+           ablation_search
 
 case "$MODE" in
   smoke)
@@ -51,18 +52,21 @@ case "$MODE" in
     FIG4_ARGS=(--smoke --n=300000 --threads=1,2,4)
     TABLE2_ARGS=(--scale=400)
     FIG5_ARGS=(--scale=300 --threads=1,2)
+    ABLATION_ARGS=(--n=100000)
     ;;
   quick)
     FIG3_ARGS=()
     FIG4_ARGS=(--smoke)
     TABLE2_ARGS=()
     FIG5_ARGS=(--scale=600 --threads=1,2,4)
+    ABLATION_ARGS=()
     ;;
   full)
     FIG3_ARGS=(--full)
     FIG4_ARGS=(--full)
     TABLE2_ARGS=(--full)
     FIG5_ARGS=(--full)
+    ABLATION_ARGS=(--n=10000000)
     ;;
 esac
 
@@ -75,8 +79,15 @@ run() { # run <bench-binary> <output-name> [args...]
 
 run fig3_sequential     BENCH_fig3.json   "${FIG3_ARGS[@]}"
 run fig4_parallel_insert BENCH_fig4.json  "${FIG4_ARGS[@]}"
+# A/B companion record: the same sweep with the in-node search policy forced
+# to SimdSearch on the btree rows — the scaling counterpart of
+# bench/ablation_search, and the record the vector-kernel probes gate below
+# asserts on (the default record's Point trees deliberately run LinearSearch;
+# see DefaultSearch's measured thresholds in core/btree_detail.h).
+run fig4_parallel_insert BENCH_fig4_simd.json "${FIG4_ARGS[@]}" --search=simd
 run table2_stats        BENCH_table2.json "${TABLE2_ARGS[@]}"
 run fig5_datalog        BENCH_fig5.json   "${FIG5_ARGS[@]}"
+run ablation_search     BENCH_ablation_search.json "${ABLATION_ARGS[@]}"
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== validating emitted JSON =="
@@ -84,8 +95,9 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 out = sys.argv[1]
 records = {}
-for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_table2.json",
-             "BENCH_fig5.json"):
+for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_fig4_simd.json",
+             "BENCH_table2.json", "BENCH_fig5.json",
+             "BENCH_ablation_search.json"):
     with open(f"{out}/{name}") as f:
         records[name] = json.load(f)
     print(f"   {name}: parses ok")
@@ -99,6 +111,27 @@ for counter in ("btree_leaf_splits", "btree_root_replacements",
                 "hint_hits_insert", "lock_validations_failed"):
     assert m.get(counter, 0) > 0, f"fig4 counter {counter} is zero"
     print(f"   fig4 {counter} = {m[counter]}")
+# The vector-kernel gate lives on the --search=simd A/B record (the default
+# record's Point trees run LinearSearch by measurement — DefaultSearch's
+# thresholds in core/btree_detail.h — so zero probes there is expected, not
+# a regression). On the AVX2 hosts the checked-in records come from, every
+# descent of the forced-simd sweep must have gone through the vector kernel;
+# zero probes means the build lost DATATREE_SIMD or the dispatch regressed.
+# On a non-AVX2 host the scalar column kernel runs instead; accept that only
+# when search_scalar_fallbacks shows it still did the work.
+def check_kernel(tag, mm):
+    probes = mm.get("search_simd_probes", 0)
+    if probes == 0:
+        assert mm.get("search_scalar_fallbacks", 0) > 0, \
+            f"{tag}: neither search_simd_probes nor search_scalar_fallbacks fired"
+        print(f"   {tag} search_simd_probes = 0 (non-AVX2 host; scalar column "
+              f"kernel fallbacks = {mm['search_scalar_fallbacks']})")
+    else:
+        print(f"   {tag} search_simd_probes = {probes}")
+
+check_kernel("fig4_simd", records["BENCH_fig4_simd.json"]["metrics"])
+# The ablation's simd cells must likewise have exercised the column kernel.
+check_kernel("ablation", records["BENCH_ablation_search.json"]["metrics"])
 
 table2 = records["BENCH_table2.json"]
 m2 = table2["metrics"]

@@ -51,22 +51,38 @@ namespace dtree {
 template <typename Key,
           typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
-          typename Search = detail::DefaultSearch<Key>,
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>,
           typename Access = ConcurrentAccess,
           bool AllowDuplicates = false,
-          typename Alloc = NewDeleteNodeAlloc<Key, BlockSize, Access>>
+          typename Alloc = NewDeleteNodeAlloc<
+              Key, BlockSize, Access,
+              detail::search_wants_column<Search>()>>
 class btree {
     static_assert(BlockSize >= 3, "nodes must hold at least three keys");
+    static_assert(detail::search_policy_viable<Search, Key, Compare>(),
+                  "the configured Search policy cannot index this (Key, "
+                  "Compare) pair: SimdSearch needs a key with an arithmetic "
+                  "first column (first_column<Key>::available) AND a "
+                  "comparator ordered by that column "
+                  "(comparator_respects_first_column<Compare, Key>, "
+                  "core/comparator.h). Use LinearSearch/BinarySearch, or "
+                  "specialise the traits for your key/comparator.");
 
-    using NodeT = detail::Node<Key, BlockSize, Access>;
-    using InnerT = detail::InnerNode<Key, BlockSize, Access>;
+    /// Nodes carry the SoA column cache only when the search policy reads it
+    /// (SimdSearch); Linear/Binary trees keep the bare pre-column layout and
+    /// pay zero maintenance.
+    static constexpr bool with_column = detail::search_wants_column<Search>();
+
+    using NodeT = detail::Node<Key, BlockSize, Access, with_column>;
+    using InnerT = detail::InnerNode<Key, BlockSize, Access, with_column>;
     using Lease = OptimisticReadWriteLock::Lease;
     static constexpr bool concurrent = Access::concurrent;
 
 public:
     using key_type = Key;
     using value_type = Key;
-    using const_iterator = detail::Iterator<Key, BlockSize, Access>;
+    using const_iterator =
+        detail::Iterator<Key, BlockSize, Access, with_column>;
     using iterator = const_iterator; // keys are immutable once stored
     static constexpr unsigned block_size = BlockSize;
 
@@ -78,13 +94,24 @@ public:
     /// to a different tree (a cached leaf of tree A that happens to cover a
     /// key would misroute an insert into tree B), and it must not outlive
     /// clear()/destruction of its tree. reset() detaches it safely.
+    ///
+    /// Besides the cached leaf, each kind carries a predicted in-leaf slot
+    /// (SlotHints, core/hints.h): the position the previous operation landed
+    /// on, handed to the search kernel so that sequential/repeated probes
+    /// settle with two boundary comparisons instead of a full in-node search.
+    /// Slots are advisory — always validated against the live node before
+    /// use — so they need no invalidation discipline beyond reset().
     class operation_hints {
     public:
         HintStats stats;
+        SlotHints slots;
 
         NodeT* get(HintKind k) const { return slots_[static_cast<unsigned>(k)]; }
         void set(HintKind k, NodeT* leaf) { slots_[static_cast<unsigned>(k)] = leaf; }
-        void reset() { slots_[0] = slots_[1] = slots_[2] = slots_[3] = nullptr; }
+        void reset() {
+            slots_[0] = slots_[1] = slots_[2] = slots_[3] = nullptr;
+            slots.reset();
+        }
 
     private:
         NodeT* slots_[4] = {nullptr, nullptr, nullptr, nullptr};
@@ -289,7 +316,9 @@ private:
         if (depth == 0) {
             assert(s >= 1 && s <= BlockSize);
             NodeT* leaf = alloc_.make_leaf();
-            for (std::size_t i = 0; i < s; ++i, ++it) leaf->keys[i] = *it;
+            for (std::size_t i = 0; i < s; ++i, ++it) {
+                leaf->template key_store<SeqAccess>(static_cast<unsigned>(i), *it);
+            }
             leaf->num_elements.store(static_cast<std::uint32_t>(s));
             return leaf;
         }
@@ -308,7 +337,8 @@ private:
             child->parent.store(node);
             child->position.store(static_cast<std::uint32_t>(i));
             if (i + 1 < c) {
-                node->keys[i] = *it; // separator
+                node->template key_store<SeqAccess>(static_cast<unsigned>(i),
+                                                    *it); // separator
                 ++it;
             }
         }
@@ -346,7 +376,9 @@ public:
             if (leaf_covers(leaf, k)) {
                 hints.stats.hit(HintKind::Contains);
                 const unsigned n = leaf->num_elements.load();
-                const unsigned pos = Search::template lower<Access>(leaf->keys, n, k, comp_);
+                const unsigned pos = detail::node_lower_hinted<Search, Access>(
+                    leaf, n, k, comp_, hints.slots.get(HintKind::Contains));
+                hints.slots.set(HintKind::Contains, pos);
                 if (pos < n && comp_.equal(Access::load(leaf->keys[pos]), k)) {
                     return const_iterator(leaf, pos);
                 }
@@ -356,16 +388,23 @@ public:
         hints.stats.miss(HintKind::Contains);
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            const unsigned pos = Search::template lower<Access>(cur->keys, n, k, comp_);
+            const unsigned pos = detail::node_lower<Search, Access>(cur, n, k, comp_);
             if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
-                if (!cur->inner) hints.set(HintKind::Contains, const_cast<NodeT*>(cur));
+                if (!cur->inner) {
+                    hints.set(HintKind::Contains, const_cast<NodeT*>(cur));
+                    hints.slots.set(HintKind::Contains, pos);
+                }
                 return const_iterator(cur, pos);
             }
             if (!cur->inner) {
                 hints.set(HintKind::Contains, const_cast<NodeT*>(cur));
+                hints.slots.set(HintKind::Contains, pos);
                 return end();
             }
-            cur = cur->as_inner()->children[pos].load();
+            const NodeT* next = cur->as_inner()->children[pos].load();
+            detail::prefetch_node(next);
+            detail::prefetch_tie_sibling<Access>(cur, pos, n, k);
+            cur = next;
         }
     }
 
@@ -393,7 +432,9 @@ public:
                                  : comp_(Access::load(leaf->keys[0]), k) <= 0) &&
                 comp_(k, Access::load(leaf->keys[n - 1])) <= 0) {
                 hints.stats.hit(HintKind::Lower);
-                const unsigned pos = Search::template lower<Access>(leaf->keys, n, k, comp_);
+                const unsigned pos = detail::node_lower_hinted<Search, Access>(
+                    leaf, n, k, comp_, hints.slots.get(HintKind::Lower));
+                hints.slots.set(HintKind::Lower, pos);
                 return const_iterator(leaf, pos);
             }
         }
@@ -401,10 +442,11 @@ public:
         const_iterator best = end();
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            const unsigned pos = Search::template lower<Access>(cur->keys, n, k, comp_);
+            const unsigned pos = detail::node_lower<Search, Access>(cur, n, k, comp_);
             if (!cur->inner) {
                 if (pos < n) {
                     hints.set(HintKind::Lower, const_cast<NodeT*>(cur));
+                    hints.slots.set(HintKind::Lower, pos);
                     return const_iterator(cur, pos);
                 }
                 return best;
@@ -417,7 +459,10 @@ public:
                 }
             }
             if (pos < n) best = const_iterator(cur, pos);
-            cur = cur->as_inner()->children[pos].load();
+            const NodeT* next = cur->as_inner()->children[pos].load();
+            detail::prefetch_node(next);
+            detail::prefetch_tie_sibling<Access>(cur, pos, n, k);
+            cur = next;
         }
     }
 
@@ -439,7 +484,9 @@ public:
             if (n > 0 && comp_(Access::load(leaf->keys[0]), k) <= 0 &&
                 comp_(k, Access::load(leaf->keys[n - 1])) < 0) {
                 hints.stats.hit(HintKind::Upper);
-                const unsigned pos = Search::template upper<Access>(leaf->keys, n, k, comp_);
+                const unsigned pos = detail::node_upper_hinted<Search, Access>(
+                    leaf, n, k, comp_, hints.slots.get(HintKind::Upper));
+                hints.slots.set(HintKind::Upper, pos);
                 return const_iterator(leaf, pos);
             }
         }
@@ -447,16 +494,20 @@ public:
         const_iterator best = end();
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            const unsigned pos = Search::template upper<Access>(cur->keys, n, k, comp_);
+            const unsigned pos = detail::node_upper<Search, Access>(cur, n, k, comp_);
             if (!cur->inner) {
                 if (pos < n) {
                     hints.set(HintKind::Upper, const_cast<NodeT*>(cur));
+                    hints.slots.set(HintKind::Upper, pos);
                     return const_iterator(cur, pos);
                 }
                 return best;
             }
             if (pos < n) best = const_iterator(cur, pos);
-            cur = cur->as_inner()->children[pos].load();
+            const NodeT* next = cur->as_inner()->children[pos].load();
+            detail::prefetch_node(next);
+            detail::prefetch_tie_sibling<Access>(cur, pos, n, k);
+            cur = next;
         }
     }
 
@@ -581,7 +632,7 @@ private:
         NodeT* cur = root_.load();
         if (!cur) {
             NodeT* leaf = alloc_.make_leaf();
-            leaf->keys[0] = k;
+            leaf->template key_store<SeqAccess>(0, k);
             leaf->num_elements.store(1);
             root_.store(leaf);
             hints.set(HintKind::Insert, leaf);
@@ -592,7 +643,7 @@ private:
         unsigned pos;
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            pos = search_pos(cur->keys, n, k);
+            pos = search_pos(cur, n, k);
             if constexpr (!AllowDuplicates) {
                 if (pos < n && comp_.equal(cur->keys[pos], k)) {
                     if (!cur->inner) hints.set(HintKind::Insert, cur);
@@ -600,7 +651,11 @@ private:
                 }
             }
             if (!cur->inner) break;
-            cur = cur->as_inner()->children[pos].load();
+            NodeT* next = cur->as_inner()->children[pos].load();
+            detail::prefetch_node(next);
+            detail::prefetch_tie_sibling<SeqAccess>(
+                const_cast<const NodeT*>(cur), pos, n, k);
+            cur = next;
         }
 
         if (cur->full()) {
@@ -611,8 +666,10 @@ private:
         }
 
         const unsigned n = cur->num_elements.load();
-        for (unsigned i = n; i > pos; --i) cur->keys[i] = cur->keys[i - 1];
-        cur->keys[pos] = k;
+        for (unsigned i = n; i > pos; --i) {
+            cur->template key_move<SeqAccess>(i, i - 1);
+        }
+        cur->template key_store<SeqAccess>(pos, k);
         cur->num_elements.store(n + 1);
         hints.set(HintKind::Insert, cur);
         return true;
@@ -632,7 +689,8 @@ private:
             }
             if (root_.load() == nullptr) {
                 NodeT* leaf = alloc_.make_leaf();
-                leaf->keys[0] = k; // unpublished: plain store is fine
+                // Unpublished: plain stores are fine.
+                leaf->template key_store<SeqAccess>(0, k);
                 leaf->num_elements.store(1);
                 root_.store_release(leaf);
                 root_lock_.end_write();
@@ -684,7 +742,7 @@ private:
         // Descend (lines 20-33).
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            const unsigned pos = search_pos_racy(cur->keys, n, k);
+            const unsigned pos = search_pos_racy(cur, n, k);
             if constexpr (!AllowDuplicates) {
                 // Early containment check (line 22).
                 if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
@@ -695,6 +753,15 @@ private:
             }
             if (cur->inner) {
                 NodeT* next = cur->as_inner()->children[pos].load();
+                // Prefetch the chosen child (and, on a first-column tie, the
+                // adjacent candidate) BEFORE the parent's lease validates:
+                // the miss overlaps the validation fence + child lease
+                // acquisition below, and prefetching a pointer a failed
+                // validation is about to reject is harmless (nodes are never
+                // freed while the tree lives).
+                detail::prefetch_node(next);
+                detail::prefetch_tie_sibling<Access>(
+                    const_cast<const NodeT*>(cur), pos, n, k);
                 // Validate before dereferencing the child pointer: only a
                 // committed pointer is guaranteed to reference a node.
                 if (!cur->lock.validate(cur_lease)) return std::nullopt;
@@ -725,7 +792,12 @@ private:
         if (DTREE_FAILPOINT(leaf_retry)) return LeafResult::Retry;
         const unsigned n = leaf->num_elements.load();
         if (n > BlockSize) return LeafResult::Retry; // torn read; impossible once validated
-        const unsigned pos = search_pos_racy(leaf->keys, n, k);
+        // The predicted slot from the previous insert steers the in-node
+        // search; a stale guess is validated (racily — the upgrade below
+        // re-validates the lease, restoring Alg. 1's guarantees) and at
+        // worst falls back to the full search.
+        const unsigned pos =
+            search_pos_racy_hinted(leaf, n, k, hints.slots.get(HintKind::Insert));
         if constexpr (!AllowDuplicates) {
             if (pos < n && comp_.equal(Access::load(leaf->keys[pos]), k)) {
                 if (!leaf->lock.validate(lease)) return LeafResult::Retry;
@@ -733,6 +805,7 @@ private:
                 // evaluation re-derives tuples constantly); remember the leaf
                 // so the next nearby duplicate skips the traversal too.
                 hints.set(HintKind::Insert, leaf);
+                hints.slots.set(HintKind::Insert, pos);
                 return LeafResult::Duplicate;
             }
         }
@@ -748,12 +821,15 @@ private:
             return LeafResult::Retry;
         }
         for (unsigned i = n; i > pos; --i) {
-            Access::store(leaf->keys[i], leaf->keys[i - 1]);
+            leaf->template key_move<Access>(i, i - 1);
         }
-        Access::store(leaf->keys[pos], k);
+        leaf->template key_store<Access>(pos, k);
         leaf->num_elements.store(n + 1);
         leaf->lock.end_write();
         hints.set(HintKind::Insert, leaf);
+        // Ascending runs (the dominant Datalog pattern) land each key one
+        // slot right of the previous one.
+        hints.slots.set(HintKind::Insert, pos + 1);
         return LeafResult::Inserted;
     }
 
@@ -855,7 +931,8 @@ private:
         }
         const unsigned moved = BlockSize - mid - 1;
         for (unsigned i = 0; i < moved; ++i) {
-            sibling->keys[i] = node->keys[mid + 1 + i]; // sibling unpublished
+            // Sibling unpublished: plain stores (column mirrored alongside).
+            sibling->template key_copy_from<SeqAccess>(i, *node, mid + 1 + i);
         }
         if (node->inner) {
             InnerT* in = node->as_inner();
@@ -877,7 +954,7 @@ private:
             // node was the root: grow the tree (root lock is held /
             // sequential mode has exclusive access anyway).
             InnerT* new_root = alloc_.make_inner();
-            new_root->keys[0] = median;
+            new_root->template key_store<SeqAccess>(0, median);
             new_root->children[0].store(node);
             new_root->children[1].store(sibling);
             new_root->num_elements.store(1);
@@ -909,14 +986,14 @@ private:
         const unsigned n = parent->num_elements.load();
         assert(n < BlockSize);
         for (unsigned i = n; i > pos; --i) {
-            Access::store(parent->keys[i], parent->keys[i - 1]);
+            parent->template key_move<Access>(i, i - 1);
         }
         for (unsigned i = n + 1; i > pos + 1; --i) {
             NodeT* c = parent->children[i - 1].load();
             parent->children[i].store(c);
             c->position.store(i);
         }
-        Access::store(parent->keys[pos], median);
+        parent->template key_store<Access>(pos, median);
         parent->children[pos + 1].store(right_child);
         right_child->parent.store(parent);
         right_child->position.store(pos + 1);
@@ -1004,7 +1081,7 @@ private:
             while (i < n) buf[nb++] = leaf->keys[i++];
             assert(!need_split || nb == BlockSize);
             for (unsigned j = 0; j < nb; ++j) {
-                Access::store(leaf->keys[j], buf[j]);
+                leaf->template key_store<Access>(j, buf[j]);
             }
             leaf->num_elements.store(nb);
         }
@@ -1042,7 +1119,7 @@ private:
                     continue;
                 }
             }
-            leaf->keys[nb++] = k;
+            leaf->template key_store<SeqAccess>(nb++, k);
             ++inserted;
             ++consumed;
             ++first;
@@ -1120,7 +1197,7 @@ private:
         bool has_hi = false;
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            const unsigned pos = search_pos_racy(cur->keys, n, k);
+            const unsigned pos = search_pos_racy(cur, n, k);
             if (cur->inner) {
                 // Copy the separator BEFORE validating; commit it after.
                 // Descending right of all keys (pos == n) keeps the
@@ -1132,6 +1209,9 @@ private:
                     cand = true;
                 }
                 NodeT* next = cur->as_inner()->children[pos].load();
+                // As in the point-insert descent: start the child's miss
+                // before the validation fence below.
+                detail::prefetch_node(next);
                 if (!cur->lock.validate(cur_lease)) return std::nullopt;
                 if (cand) {
                     hi = hi_cand;
@@ -1193,7 +1273,7 @@ private:
                         continue;
                     }
                 }
-                leaf->keys[nb++] = k;
+                leaf->template key_store<SeqAccess>(nb++, k);
                 ++inserted;
                 ++consumed;
                 ++first;
@@ -1228,13 +1308,15 @@ private:
         bool has_hi = false;
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            const unsigned pos = search_pos(cur->keys, n, k);
+            const unsigned pos = search_pos(cur, n, k);
             if (!cur->inner) break;
             if (pos < n) {
                 hi = cur->keys[pos];
                 has_hi = true;
             }
-            cur = cur->as_inner()->children[pos].load();
+            NodeT* next = cur->as_inner()->children[pos].load();
+            detail::prefetch_node(next);
+            cur = next;
         }
         bool need_split = false;
         It next = leaf_fill_sorted(cur, first, last, has_hi ? &hi : nullptr,
@@ -1260,20 +1342,35 @@ private:
     }
 
     /// In-node search position: lower bound for sets (duplicates rejected),
-    /// upper bound for multisets (duplicates cluster to the right).
-    unsigned search_pos(const Key* keys, unsigned n, const Key& k) const {
+    /// upper bound for multisets (duplicates cluster to the right). Funnels
+    /// through the node-aware dispatch so SimdSearch sees the column cache.
+    unsigned search_pos(const NodeT* node, unsigned n, const Key& k) const {
         if constexpr (AllowDuplicates) {
-            return Search::template upper<SeqAccess>(keys, n, k, comp_);
+            return detail::node_upper<Search, SeqAccess>(node, n, k, comp_);
         } else {
-            return Search::template lower<SeqAccess>(keys, n, k, comp_);
+            return detail::node_lower<Search, SeqAccess>(node, n, k, comp_);
         }
     }
 
-    unsigned search_pos_racy(const Key* keys, unsigned n, const Key& k) const {
+    unsigned search_pos_racy(const NodeT* node, unsigned n, const Key& k) const {
         if constexpr (AllowDuplicates) {
-            return Search::template upper<Access>(keys, n, k, comp_);
+            return detail::node_upper<Search, Access>(node, n, k, comp_);
         } else {
-            return Search::template lower<Access>(keys, n, k, comp_);
+            return detail::node_lower<Search, Access>(node, n, k, comp_);
+        }
+    }
+
+    /// search_pos_racy with a predicted slot (core/hints.h SlotHints): two
+    /// boundary comparisons verify the guess, a failed guess degrades to the
+    /// full in-node search.
+    unsigned search_pos_racy_hinted(const NodeT* node, unsigned n, const Key& k,
+                                    std::uint32_t guess) const {
+        if constexpr (AllowDuplicates) {
+            return detail::node_upper_hinted<Search, Access>(node, n, k, comp_,
+                                                             guess);
+        } else {
+            return detail::node_lower_hinted<Search, Access>(node, n, k, comp_,
+                                                             guess);
         }
     }
 
@@ -1311,6 +1408,7 @@ private:
         const unsigned cnt = n->num_elements.load();
         if (cnt == 0) return "empty node";
         if (cnt > BlockSize) return "over-full node";
+        if (!n->column_in_sync()) return "first-column cache out of sync";
         // Every non-root node was produced by a median split and can only
         // have grown since: minimum fill is BlockSize/2 - 1.
         if (n->parent.load() != nullptr && cnt + 1 < BlockSize / 2) {
@@ -1374,39 +1472,43 @@ private:
 /// "btree": the concurrent set (pass operation_hints for the hinted flavour).
 template <typename Key, typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
-          typename Search = detail::DefaultSearch<Key>>
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
 using btree_set = btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false>;
 
 /// "seq btree": identical structure, zero synchronisation cost.
 template <typename Key, typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
-          typename Search = detail::DefaultSearch<Key>>
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
 using seq_btree_set = btree<Key, Compare, BlockSize, Search, SeqAccess, false>;
 
 /// Duplicate-preserving variants (Soufflé extension; not benchmarked in the
 /// paper but part of the deployed data structure family).
 template <typename Key, typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
-          typename Search = detail::DefaultSearch<Key>>
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
 using btree_multiset = btree<Key, Compare, BlockSize, Search, ConcurrentAccess, true>;
 
 template <typename Key, typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
-          typename Search = detail::DefaultSearch<Key>>
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
 using seq_btree_multiset = btree<Key, Compare, BlockSize, Search, SeqAccess, true>;
 
 /// Arena-allocated variant: node allocation is a bump pointer, release is
 /// wholesale (see node_allocator.h; bench/ablation_allocator).
 template <typename Key, typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
-          typename Search = detail::DefaultSearch<Key>>
-using arena_btree_set = btree<Key, Compare, BlockSize, Search, ConcurrentAccess,
-                              false, ArenaNodeAlloc<Key, BlockSize, ConcurrentAccess>>;
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using arena_btree_set =
+    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false,
+          ArenaNodeAlloc<Key, BlockSize, ConcurrentAccess,
+                         detail::search_wants_column<Search>()>>;
 
 template <typename Key, typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
-          typename Search = detail::DefaultSearch<Key>>
-using arena_seq_btree_set = btree<Key, Compare, BlockSize, Search, SeqAccess,
-                                  false, ArenaNodeAlloc<Key, BlockSize, SeqAccess>>;
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using arena_seq_btree_set =
+    btree<Key, Compare, BlockSize, Search, SeqAccess, false,
+          ArenaNodeAlloc<Key, BlockSize, SeqAccess,
+                         detail::search_wants_column<Search>()>>;
 
 } // namespace dtree

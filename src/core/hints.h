@@ -23,6 +23,28 @@ namespace dtree {
 /// independently").
 enum class HintKind : unsigned { Insert = 0, Contains = 1, Lower = 2, Upper = 3 };
 
+/// "No predicted slot" sentinel for SlotHints; also understood by the hinted
+/// in-node search helpers in core/btree_detail.h (detail::kNoSlotHint aliases
+/// this value).
+inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// Predicted in-leaf positions, one per operation kind — the second level of
+/// the hint hierarchy (DESIGN.md §10). The leaf hint skips the root-to-leaf
+/// traversal; the slot hint additionally hands the in-node search kernel the
+/// position the previous operation landed on, which two boundary comparisons
+/// verify (core/btree_detail.h node_lower_hinted/node_upper_hinted). A stale
+/// or garbage slot is never a correctness issue: out-of-range guesses are
+/// rejected and in-range ones are validated before use, falling back to the
+/// full in-node search. Lives next to the leaf slots in the caller-owned
+/// operation_hints object — unsynchronised by design, one per thread.
+struct SlotHints {
+    std::uint32_t slot[4] = {kNoSlot, kNoSlot, kNoSlot, kNoSlot};
+
+    std::uint32_t get(HintKind k) const { return slot[static_cast<unsigned>(k)]; }
+    void set(HintKind k, std::uint32_t s) { slot[static_cast<unsigned>(k)] = s; }
+    void reset() { slot[0] = slot[1] = slot[2] = slot[3] = kNoSlot; }
+};
+
 struct HintStats {
     std::uint64_t hits[4] = {0, 0, 0, 0};
     std::uint64_t misses[4] = {0, 0, 0, 0};

@@ -22,10 +22,13 @@
 namespace dtree {
 
 /// Default policy: plain new/delete (thread-safe by the C++ runtime).
-template <typename Key, unsigned BlockSize, typename Access>
+/// WithColumn must match the owning tree's node layout (btree.h derives it
+/// from the search policy via detail::search_wants_column).
+template <typename Key, unsigned BlockSize, typename Access,
+          bool WithColumn = true>
 struct NewDeleteNodeAlloc {
-    using NodeT = detail::Node<Key, BlockSize, Access>;
-    using InnerT = detail::InnerNode<Key, BlockSize, Access>;
+    using NodeT = detail::Node<Key, BlockSize, Access, WithColumn>;
+    using InnerT = detail::InnerNode<Key, BlockSize, Access, WithColumn>;
 
     NodeT* make_leaf() {
         DTREE_METRIC_INC(alloc_leaf_nodes);
@@ -48,11 +51,12 @@ struct NewDeleteNodeAlloc {
 /// allocations — are ~1/(BlockSize/2) of inserts, so the lock is cold),
 /// wholesale release. Individual nodes are never returned — exactly the
 /// tree's lifetime model.
-template <typename Key, unsigned BlockSize, typename Access>
+template <typename Key, unsigned BlockSize, typename Access,
+          bool WithColumn = true>
 class ArenaNodeAlloc {
 public:
-    using NodeT = detail::Node<Key, BlockSize, Access>;
-    using InnerT = detail::InnerNode<Key, BlockSize, Access>;
+    using NodeT = detail::Node<Key, BlockSize, Access, WithColumn>;
+    using InnerT = detail::InnerNode<Key, BlockSize, Access, WithColumn>;
 
     ArenaNodeAlloc() = default;
     ArenaNodeAlloc(ArenaNodeAlloc&& o) noexcept : chunks_(std::move(o.chunks_)) {

@@ -88,6 +88,80 @@ struct SeqAccess {
     }
 };
 
+// ---------------------------------------------------------------------------
+// Racy vector loads (the DATATREE_SIMD in-node search kernel)
+// ---------------------------------------------------------------------------
+//
+// The SIMD search kernel (core/btree_detail.h, DESIGN.md §10) reads the
+// inner nodes' first/second-column caches (wide tuples) — and, for pair
+// keys, the node's AoS key array itself, both kinds (the interleaved pair
+// kernel) — with *plain* 256-bit vector loads, NOT through the per-element atomic_ref discipline above. That is a deliberate, documented
+// exception to the Boehm-style rules, and it is sound for the same reason
+// the rules exist at all:
+//
+//   1. Scope. Vector loads are issued ONLY between start_read()/validate()
+//      of the node's OptimisticReadWriteLock, or while the caller holds the
+//      node's write lock (where there is no race at all). There is no third
+//      call site.
+//   2. Discard-on-conflict. Everything computed from a racy vector load is a
+//      pair of *counts* into the key array. Counts are only acted upon after
+//      a successful validate()/try_upgrade_to_write() on the very lease under
+//      which the loads ran; if a writer intervened, validation fails and the
+//      counts are thrown away — exactly the seqlock argument the paper makes
+//      for its relaxed scalar reads. Torn lanes can produce out-of-bounds-
+//      *looking* counts only within [0, n] (each lane contributes 0 or 1),
+//      so even a garbage result stays a safe array index before validation.
+//   3. Formal UB vs. practice. The C++ abstract machine calls the racing
+//      non-atomic load undefined; on every ISA the kernel compiles for, an
+//      unordered vector load from validly-mapped memory yields *some* value
+//      per lane and has no other effect. We confine the formal UB to this
+//      one shim so sanitizers can reason about the rest of the tree: under
+//      ThreadSanitizer (which instruments exactly the C++-level race) the
+//      vector path is compiled OUT below, and SimdSearch's scalar fallback
+//      reads the column through Access::load's relaxed atomics — the
+//      TSan-clean path that scripts/check.sh's TSan leg exercises.
+//
+// DTREE_SIMD_VECTOR is the single gate the kernel tests: it folds the vector
+// path away when the build disables SIMD (-DDATATREE_SIMD=OFF), the target
+// is not x86-64, or a thread sanitizer is active.
+
+#if !defined(DATATREE_SIMD)
+// Standalone header use (no CMake configure): default to enabled where the
+// toolchain supports the target("avx2") attribute + runtime dispatch.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define DATATREE_SIMD 1
+#else
+#define DATATREE_SIMD 0
+#endif
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define DTREE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DTREE_TSAN 1
+#endif
+#endif
+#if !defined(DTREE_TSAN)
+#define DTREE_TSAN 0
+#endif
+
+#if DATATREE_SIMD && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__)) && !DTREE_TSAN
+#define DTREE_SIMD_VECTOR 1
+#else
+#define DTREE_SIMD_VECTOR 0
+#endif
+
+namespace simd_shim {
+
+/// Whether this translation unit compiled the racy-vector-load path in.
+/// (Runtime CPU dispatch still applies on top; see detail::simd in
+/// btree_detail.h.)
+inline constexpr bool vector_loads_compiled = (DTREE_SIMD_VECTOR == 1);
+
+} // namespace simd_shim
+
 /// A word-sized field that is racy in concurrent mode and plain otherwise.
 /// Loads/stores are relaxed; ordering comes from the enclosing lock protocol
 /// (acquire on lease acquisition/validation, release on end_write).
