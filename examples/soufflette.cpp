@@ -13,15 +13,24 @@
 // --sched=blocks|steal picks the parallel scheduler (default: steal, or
 // DATATREE_SCHED); --grain=N sets the work-stealing chunk size in tuples
 // (default 64, or DATATREE_GRAIN) — work that fits one grain runs inline.
+// --serve-probe[=N] switches to the snapshot-enabled storage and spawns N
+// reader threads (default 1) that pin Relation snapshots and issue point /
+// range queries WHILE evaluation runs, cross-checking each snapshot for
+// internal consistency (sorted, repeatable, membership-closed); snapshot
+// and epoch-retention statistics then show up in --stats / --profile JSON.
 //
 // Try it on the bundled example:
 //   ./build/examples/soufflette examples/programs/reachability.dl
 //       --facts=examples/programs/reachability_facts --output=/tmp --stats
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "datalog/io.h"
 #include "datalog/program.h"
@@ -31,137 +40,266 @@
 #include "util/metrics.h"
 #include "util/timer.h"
 
-int main(int argc, char** argv) {
-    using namespace dtree::datalog;
+namespace {
 
-    if (argc < 2 || argv[1][0] == '-') {
-        std::fprintf(stderr,
-                     "usage: %s <program.dl> [--facts=DIR] [--output=DIR] "
-                     "[--jobs=N] [--sched=blocks|steal] [--grain=N] "
-                     "[--stats] [--profile[=FILE]]\n",
-                     argv[0]);
-        return 2;
-    }
-    const std::string program_path = argv[1];
-    dtree::util::Cli cli(argc - 1, argv + 1);
+using namespace dtree::datalog;
+
+/// What one serve-probe reader observed. Merged and reported after the run.
+struct ProbeTally {
+    unsigned long long pins = 0;
+    unsigned long long scans = 0;
+    unsigned long long points = 0;
+    unsigned long long tuples = 0;
+    unsigned long long epoch_max = 0;
+    bool consistent = true;
+};
+
+/// One reader's probe loop: pin a snapshot per relation, then verify on the
+/// pinned epoch that (a) full-range iteration is strictly sorted, (b) a
+/// second iteration replays the identical cardinality (snapshots are
+/// immutable even while writers run), (c) sampled members test positive via
+/// contains(), and (d) a prefix range scan around a sampled member finds it.
+template <typename EngineT>
+void probe_loop(const EngineT& engine, const std::vector<std::string>& rels,
+                const std::atomic<bool>& stop, unsigned tid, ProbeTally& tally) {
+    const std::uint64_t salt = 0x9e3779b97f4a7c15ull * (tid + 1);
+    do {
+        for (const auto& name : rels) {
+            const auto& rel = engine.relation(name);
+            const auto snap = rel.snapshot();
+            ++tally.pins;
+            tally.epoch_max = std::max(
+                tally.epoch_max,
+                static_cast<unsigned long long>(snap.epoch()));
+            bool ok = true;
+            std::size_t n = 0;
+            StorageTuple prev{}, sample{};
+            bool have = false, have_sample = false;
+            snap.for_each([&](const StorageTuple& t) {
+                if (have && !(prev < t)) ok = false;
+                prev = t;
+                have = true;
+                if ((salt + ++n) % 97 == 0) {
+                    sample = t;
+                    have_sample = true;
+                }
+            });
+            std::size_t replay = 0;
+            snap.for_each([&](const StorageTuple&) { ++replay; });
+            if (replay != n) ok = false;
+            ++tally.scans;
+            tally.tuples += n;
+            if (have) {
+                ++tally.points;
+                if (!snap.contains(prev)) ok = false;
+            }
+            if (have_sample) {
+                ++tally.points;
+                if (!snap.contains(sample)) ok = false;
+                std::size_t hits = 0;
+                snap.scan_prefix(sample, 1,
+                                 [&](const StorageTuple&) { ++hits; });
+                if (hits == 0) ok = false; // sample itself lies in the range
+                ++tally.scans;
+            }
+            if (!ok) tally.consistent = false;
+        }
+        // One final sweep after stop: covers the end-of-run epoch publish.
+    } while (!stop.load(std::memory_order_acquire));
+}
+
+template <typename EngineT>
+int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
+                   unsigned probe_threads) {
     const std::string facts_dir = cli.get_str("facts", ".");
     const std::string output_dir = cli.get_str("output", ".");
     const unsigned jobs = static_cast<unsigned>(cli.get_u64("jobs", 1));
     const std::string sched = cli.get_str("sched", "");
     const std::size_t grain = cli.get_u64("grain", 0);
 
+    const AnalyzedProgram prog = compile(read_text_file(program_path));
+    EngineT engine(prog);
+    if (!sched.empty() && sched != "1") {
+        dtree::runtime::SchedMode mode;
+        if (!dtree::runtime::parse_mode(sched, mode)) {
+            std::fprintf(stderr, "unknown --sched=%s (blocks|steal)\n",
+                         sched.c_str());
+            return 2;
+        }
+        engine.set_scheduler_mode(mode);
+    }
+    if (grain) engine.set_grain(grain);
+
+    for (const auto& decl : prog.decls) {
+        if (!decl.is_input) continue;
+        const std::string path = facts_dir + "/" + decl.name + ".facts";
+        const auto facts =
+            read_fact_file(path, decl.attribute_types, engine.symbols());
+        engine.add_facts(decl.name, facts);
+        std::printf("loaded %zu facts into %s\n", facts.size(), decl.name.c_str());
+    }
+
+    // --serve-probe: reader threads pinning snapshots while the engine runs.
+    std::atomic<bool> probe_stop{false};
+    std::vector<ProbeTally> tallies(probe_threads);
+    std::vector<std::thread> probes;
+    std::vector<std::string> probe_rels;
+    if constexpr (EngineT::RelationT::snapshot_capable) {
+        for (const auto& decl : prog.decls) probe_rels.push_back(decl.name);
+        probes.reserve(probe_threads);
+        for (unsigned t = 0; t < probe_threads; ++t) {
+            probes.emplace_back([&engine, &probe_rels, &probe_stop, &tallies, t] {
+                probe_loop(engine, probe_rels, probe_stop, t, tallies[t]);
+            });
+        }
+    }
+
+    dtree::util::Timer timer;
+    engine.run(jobs);
+    const double runtime_s = timer.elapsed_s();
+
+    probe_stop.store(true, std::memory_order_release);
+    for (auto& th : probes) th.join();
+    std::printf("evaluation finished in %.3f s on %u job(s)\n", runtime_s, jobs);
+
+    bool probes_consistent = true;
+    if (!probes.empty()) {
+        ProbeTally total;
+        for (const auto& t : tallies) {
+            total.pins += t.pins;
+            total.scans += t.scans;
+            total.points += t.points;
+            total.tuples += t.tuples;
+            total.epoch_max = std::max(total.epoch_max, t.epoch_max);
+            total.consistent = total.consistent && t.consistent;
+        }
+        probes_consistent = total.consistent;
+        std::printf("serve-probe: %u reader(s), %llu snapshots, %llu scans "
+                    "(%llu tuples), %llu point probes, max epoch %llu, "
+                    "consistency %s\n",
+                    probe_threads, total.pins, total.scans, total.tuples,
+                    total.points, total.epoch_max,
+                    total.consistent ? "OK" : "FAILED");
+    }
+
+    for (const auto& decl : prog.decls) {
+        if (!decl.is_output) continue;
+        const auto tuples = engine.tuples(decl.name);
+        const std::string path = output_dir + "/" + decl.name + ".csv";
+        write_fact_file(path, decl.attribute_types, tuples, engine.symbols());
+        std::printf("wrote %zu tuples to %s\n", tuples.size(), path.c_str());
+    }
+
+    if (cli.get_bool("profile")) {
+        std::printf("\n-- rule profile (hottest first) --\n");
+        for (const auto& p : engine.profile()) {
+            std::printf("%8.3f s  %6llu evals  %8llu tuples  %s%s (rule #%zu)\n",
+                        p.seconds,
+                        static_cast<unsigned long long>(p.evaluations),
+                        static_cast<unsigned long long>(p.tuples),
+                        p.head.c_str(), p.recursive ? " [recursive]" : "",
+                        p.rule_index);
+        }
+
+        // --profile=FILE (anything but a bare boolean): also emit the
+        // machine-readable record.
+        const std::string profile_path = cli.get_str("profile", "");
+        if (profile_path != "1" && !profile_path.empty()) {
+            std::ofstream os(profile_path);
+            if (!os) {
+                std::fprintf(stderr, "cannot open %s for writing\n",
+                             profile_path.c_str());
+                return 1;
+            }
+            dtree::json::Writer w(os);
+            w.begin_object();
+            w.kv("program", program_path);
+            w.kv("jobs", jobs);
+            w.kv("runtime_seconds", runtime_s);
+            w.key("stats");
+            engine.stats().write_json(w);
+            w.key("profile");
+            w.begin_array();
+            for (const auto& p : engine.profile()) p.write_json(w);
+            w.end_array();
+            w.key("scheduler");
+            w.begin_object();
+            w.kv("mode", dtree::runtime::mode_name(engine.scheduler_mode()));
+            w.kv("grain", engine.grain());
+            w.key("pool");
+            dtree::runtime::Scheduler::instance().stats().write_json(w);
+            w.end_object();
+            w.kv("metrics_enabled", dtree::metrics::enabled());
+            w.key("metrics");
+            dtree::metrics::snapshot().write_json(w);
+            w.end_object();
+            std::printf("wrote profile to %s\n", profile_path.c_str());
+        }
+    }
+
+    if (cli.get_bool("stats")) {
+        const EngineStats s = engine.stats();
+        std::printf("\n-- statistics --\n");
+        std::printf("relations: %zu, rules: %zu, fixpoint iterations: %llu\n",
+                    s.relations, s.rules,
+                    static_cast<unsigned long long>(s.iterations));
+        std::printf("inserts: %llu, membership: %llu, bounds: %llu/%llu\n",
+                    static_cast<unsigned long long>(s.ops.inserts),
+                    static_cast<unsigned long long>(s.ops.membership_tests),
+                    static_cast<unsigned long long>(s.ops.lower_bound_calls),
+                    static_cast<unsigned long long>(s.ops.upper_bound_calls));
+        std::printf("input tuples: %llu, produced tuples: %llu\n",
+                    static_cast<unsigned long long>(s.input_tuples),
+                    static_cast<unsigned long long>(s.produced_tuples));
+        std::printf("hint hit rate: %.1f%%\n", 100.0 * s.hints.hit_rate());
+        if (s.epoch) {
+            std::printf("snapshots: epoch %llu, %llu advances, %llu pins, "
+                        "%llu cow images, %llu retained bytes\n",
+                        static_cast<unsigned long long>(s.epoch),
+                        static_cast<unsigned long long>(s.epoch_advances),
+                        static_cast<unsigned long long>(s.snapshot_pins),
+                        static_cast<unsigned long long>(s.snapshot_cow_images),
+                        static_cast<unsigned long long>(s.snapshot_retained_bytes));
+        }
+        const auto ps = dtree::runtime::Scheduler::instance().stats();
+        std::printf("scheduler: %s (grain %zu), %llu regions, %llu tasks, "
+                    "%llu steals (%llu failed probes), %llu pool threads\n",
+                    dtree::runtime::mode_name(engine.scheduler_mode()),
+                    engine.grain(),
+                    static_cast<unsigned long long>(ps.regions),
+                    static_cast<unsigned long long>(ps.tasks),
+                    static_cast<unsigned long long>(ps.steals),
+                    static_cast<unsigned long long>(ps.steal_failures),
+                    static_cast<unsigned long long>(ps.threads_spawned));
+    }
+    return probes_consistent ? 0 : 1;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 2 || argv[1][0] == '-') {
+        std::fprintf(stderr,
+                     "usage: %s <program.dl> [--facts=DIR] [--output=DIR] "
+                     "[--jobs=N] [--sched=blocks|steal] [--grain=N] "
+                     "[--serve-probe[=N]] [--stats] [--profile[=FILE]]\n",
+                     argv[0]);
+        return 2;
+    }
+    const std::string program_path = argv[1];
+    dtree::util::Cli cli(argc - 1, argv + 1);
+    const unsigned probe_threads = cli.has("serve-probe")
+        ? std::max(1u, static_cast<unsigned>(cli.get_u64("serve-probe", 1)))
+        : 0;
+
     try {
-        const AnalyzedProgram prog = compile(read_text_file(program_path));
-        DefaultEngine engine(prog);
-        if (!sched.empty() && sched != "1") {
-            dtree::runtime::SchedMode mode;
-            if (!dtree::runtime::parse_mode(sched, mode)) {
-                std::fprintf(stderr, "unknown --sched=%s (blocks|steal)\n",
-                             sched.c_str());
-                return 2;
-            }
-            engine.set_scheduler_mode(mode);
+        if (probe_threads) {
+            return run_soufflette<Engine<storage::OurBTreeSnap>>(
+                program_path, cli, probe_threads);
         }
-        if (grain) engine.set_grain(grain);
-
-        for (const auto& decl : prog.decls) {
-            if (!decl.is_input) continue;
-            const std::string path = facts_dir + "/" + decl.name + ".facts";
-            const auto facts =
-                read_fact_file(path, decl.attribute_types, engine.symbols());
-            engine.add_facts(decl.name, facts);
-            std::printf("loaded %zu facts into %s\n", facts.size(), decl.name.c_str());
-        }
-
-        dtree::util::Timer timer;
-        engine.run(jobs);
-        const double runtime_s = timer.elapsed_s();
-        std::printf("evaluation finished in %.3f s on %u job(s)\n", runtime_s, jobs);
-
-        for (const auto& decl : prog.decls) {
-            if (!decl.is_output) continue;
-            const auto tuples = engine.tuples(decl.name);
-            const std::string path = output_dir + "/" + decl.name + ".csv";
-            write_fact_file(path, decl.attribute_types, tuples, engine.symbols());
-            std::printf("wrote %zu tuples to %s\n", tuples.size(), path.c_str());
-        }
-
-        if (cli.get_bool("profile")) {
-            std::printf("\n-- rule profile (hottest first) --\n");
-            for (const auto& p : engine.profile()) {
-                std::printf("%8.3f s  %6llu evals  %8llu tuples  %s%s (rule #%zu)\n",
-                            p.seconds,
-                            static_cast<unsigned long long>(p.evaluations),
-                            static_cast<unsigned long long>(p.tuples),
-                            p.head.c_str(), p.recursive ? " [recursive]" : "",
-                            p.rule_index);
-            }
-
-            // --profile=FILE (anything but a bare boolean): also emit the
-            // machine-readable record.
-            const std::string profile_path = cli.get_str("profile", "");
-            if (profile_path != "1" && !profile_path.empty()) {
-                std::ofstream os(profile_path);
-                if (!os) {
-                    std::fprintf(stderr, "cannot open %s for writing\n",
-                                 profile_path.c_str());
-                    return 1;
-                }
-                dtree::json::Writer w(os);
-                w.begin_object();
-                w.kv("program", program_path);
-                w.kv("jobs", jobs);
-                w.kv("runtime_seconds", runtime_s);
-                w.key("stats");
-                engine.stats().write_json(w);
-                w.key("profile");
-                w.begin_array();
-                for (const auto& p : engine.profile()) p.write_json(w);
-                w.end_array();
-                w.key("scheduler");
-                w.begin_object();
-                w.kv("mode", dtree::runtime::mode_name(engine.scheduler_mode()));
-                w.kv("grain", engine.grain());
-                w.key("pool");
-                dtree::runtime::Scheduler::instance().stats().write_json(w);
-                w.end_object();
-                w.kv("metrics_enabled", dtree::metrics::enabled());
-                w.key("metrics");
-                dtree::metrics::snapshot().write_json(w);
-                w.end_object();
-                std::printf("wrote profile to %s\n", profile_path.c_str());
-            }
-        }
-
-        if (cli.get_bool("stats")) {
-            const EngineStats s = engine.stats();
-            std::printf("\n-- statistics --\n");
-            std::printf("relations: %zu, rules: %zu, fixpoint iterations: %llu\n",
-                        s.relations, s.rules,
-                        static_cast<unsigned long long>(s.iterations));
-            std::printf("inserts: %llu, membership: %llu, bounds: %llu/%llu\n",
-                        static_cast<unsigned long long>(s.ops.inserts),
-                        static_cast<unsigned long long>(s.ops.membership_tests),
-                        static_cast<unsigned long long>(s.ops.lower_bound_calls),
-                        static_cast<unsigned long long>(s.ops.upper_bound_calls));
-            std::printf("input tuples: %llu, produced tuples: %llu\n",
-                        static_cast<unsigned long long>(s.input_tuples),
-                        static_cast<unsigned long long>(s.produced_tuples));
-            std::printf("hint hit rate: %.1f%%\n", 100.0 * s.hints.hit_rate());
-            const auto ps = dtree::runtime::Scheduler::instance().stats();
-            std::printf("scheduler: %s (grain %zu), %llu regions, %llu tasks, "
-                        "%llu steals (%llu failed probes), %llu pool threads\n",
-                        dtree::runtime::mode_name(engine.scheduler_mode()),
-                        engine.grain(),
-                        static_cast<unsigned long long>(ps.regions),
-                        static_cast<unsigned long long>(ps.tasks),
-                        static_cast<unsigned long long>(ps.steals),
-                        static_cast<unsigned long long>(ps.steal_failures),
-                        static_cast<unsigned long long>(ps.threads_spawned));
-        }
+        return run_soufflette<DefaultEngine>(program_path, cli, 0);
     } catch (const std::exception& e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;
     }
-    return 0;
 }

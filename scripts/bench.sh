@@ -20,7 +20,11 @@
 # instrumentation actually observed concurrent tree growth. The table2 record
 # (16-thread skewed doop-like evaluation) must additionally show the runtime
 # scheduler at work: pool regions executed, chunks dispatched, and at least
-# one successful steal rebalancing the skewed outer fanout.
+# one successful steal rebalancing the skewed outer fanout. The snapshot
+# record (reader x writer sweep, BENCH_snapshot.json) must show nonzero
+# snapshot_pins / epoch_advances / retained CoW images, while the fig4 record
+# doubles as the snapshot-OFF leg: its epoch/snapshot counters must all be
+# zero, proving the default trees never paid for the epoch layer.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -41,7 +45,7 @@ echo "== configuring $BUILD (DATATREE_METRICS=ON, mode: $MODE) =="
 cmake -B "$BUILD" -S . -DDATATREE_METRICS=ON >/dev/null
 cmake --build "$BUILD" -j"$JOBS" \
   --target fig3_sequential fig4_parallel_insert table2_stats fig5_datalog \
-           ablation_search
+           ablation_search snapshot_reads
 
 case "$MODE" in
   smoke)
@@ -53,6 +57,7 @@ case "$MODE" in
     TABLE2_ARGS=(--scale=400)
     FIG5_ARGS=(--scale=300 --threads=1,2)
     ABLATION_ARGS=(--n=100000)
+    SNAPSHOT_ARGS=(--smoke)
     ;;
   quick)
     FIG3_ARGS=()
@@ -60,6 +65,7 @@ case "$MODE" in
     TABLE2_ARGS=()
     FIG5_ARGS=(--scale=600 --threads=1,2,4)
     ABLATION_ARGS=()
+    SNAPSHOT_ARGS=()
     ;;
   full)
     FIG3_ARGS=(--full)
@@ -67,6 +73,7 @@ case "$MODE" in
     TABLE2_ARGS=(--full)
     FIG5_ARGS=(--full)
     ABLATION_ARGS=(--n=10000000)
+    SNAPSHOT_ARGS=(--full)
     ;;
 esac
 
@@ -88,6 +95,7 @@ run fig4_parallel_insert BENCH_fig4_simd.json "${FIG4_ARGS[@]}" --search=simd
 run table2_stats        BENCH_table2.json "${TABLE2_ARGS[@]}"
 run fig5_datalog        BENCH_fig5.json   "${FIG5_ARGS[@]}"
 run ablation_search     BENCH_ablation_search.json "${ABLATION_ARGS[@]}"
+run snapshot_reads      BENCH_snapshot.json "${SNAPSHOT_ARGS[@]}"
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== validating emitted JSON =="
@@ -97,7 +105,7 @@ out = sys.argv[1]
 records = {}
 for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_fig4_simd.json",
              "BENCH_table2.json", "BENCH_fig5.json",
-             "BENCH_ablation_search.json"):
+             "BENCH_ablation_search.json", "BENCH_snapshot.json"):
     with open(f"{out}/{name}") as f:
         records[name] = json.load(f)
     print(f"   {name}: parses ok")
@@ -154,6 +162,25 @@ m5 = fig5["metrics"]
 for counter in ("btree_bulk_runs", "btree_bulk_keys", "datalog_merge_fastpath"):
     assert m5.get(counter, 0) > 0, f"fig5 counter {counter} is zero"
     print(f"   fig5 {counter} = {m5[counter]}")
+
+snap = records["BENCH_snapshot.json"]
+# The reader/writer sweep must actually have pinned snapshots across epoch
+# advances and retained copy-on-write images (DESIGN.md §11); zeros mean the
+# epoch layer silently degraded to reading the live tree.
+for counter in ("snapshot_pins", "epoch_advances", "snapshot_cow_images"):
+    v = snap["metrics"].get(counter, 0)
+    assert v > 0, f"snapshot counter {counter} is zero"
+    assert snap["snapshot"][counter] == v, \
+        f"snapshot section/metrics disagree on {counter}"
+    print(f"   snapshot {counter} = {v}")
+# Snapshot-off leg: fig4 runs the default (non-snapshot) trees, and its
+# record must stay untouched by the epoch layer — the paper-faithful
+# configuration never pins, advances, or retains anything.
+for counter in ("snapshot_pins", "epoch_advances", "snapshot_cow_images",
+                "snapshot_cow_bytes"):
+    assert m.get(counter, 0) == 0, \
+        f"fig4 (snapshot-off) counter {counter} is nonzero"
+print("   fig4 (snapshot-off) epoch/snapshot counters all zero")
 EOF
 else
   echo "== python3 not found: skipping JSON validation =="

@@ -268,6 +268,42 @@ public:
 
     Tree& tree() { return tree_; }
 
+    // -- snapshot surface (DESIGN.md §11; snapshot-enabled trees only) -------
+
+    /// True for adapters over snapshot_btree_* trees; relation.h keys its
+    /// Relation::snapshot() availability off this.
+    static constexpr bool snapshot_capable = Tree::with_snapshots;
+
+    using snapshot_type = typename Tree::Snapshot;
+
+    /// Pins a consistent view at the current epoch boundary; safe while
+    /// writer threads are inserting (serving reads mid-evaluation).
+    snapshot_type snapshot() const
+        requires(Tree::with_snapshots)
+    {
+        return tree_.snapshot();
+    }
+
+    /// Publishes all mutations so far to future snapshots; returns the new
+    /// epoch. Called at the delta->full rotation by the evaluator.
+    std::uint64_t advance_epoch()
+        requires(Tree::with_snapshots)
+    {
+        return tree_.advance_epoch();
+    }
+
+    std::uint64_t epoch() const
+        requires(Tree::with_snapshots)
+    {
+        return tree_.epoch();
+    }
+
+    typename Tree::snapshot_stats snap_stats() const
+        requires(Tree::with_snapshots)
+    {
+        return tree_.snap_stats();
+    }
+
 private:
     Tree tree_;
     mutable typename Tree::operation_hints hints_;
@@ -275,6 +311,9 @@ private:
 
 template <typename Key>
 using OurBTreeAdapter = BTreeAdapterImpl<btree_set<Key>, true, true>;
+/// Snapshot-enabled flavour: same tree + the epoch/Snapshot API (§11).
+template <typename Key>
+using OurBTreeSnapAdapter = BTreeAdapterImpl<snapshot_btree_set<Key>, true, true>;
 template <typename Key>
 using OurBTreeNoHintsAdapter = BTreeAdapterImpl<btree_set<Key>, false, true>;
 template <typename Key>

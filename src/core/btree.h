@@ -48,15 +48,68 @@
 
 namespace dtree {
 
+namespace detail {
+
+/// Tree-level snapshot/epoch state (DESIGN.md §11), attached to the btree
+/// through [[no_unique_address]] and specialised to an empty struct for
+/// non-snapshot trees so the paper-faithful configuration stays bit-identical
+/// in layout and behaviour (the PR-5 column-store pattern).
+template <typename NodeT, bool Concurrent, bool Present>
+struct SnapTreeState {
+    /// One entry per *root replacement*: `root` is the PREVIOUS root pointer
+    /// (nullptr when the tree was empty) and `epoch` the root_mod_epoch it
+    /// carried — the entry resolves every snapshot boundary B with
+    /// epoch < B <= (next-newer entry's epoch / the live root_mod_epoch).
+    /// Entries chain newest-first and live in `arena` (never freed until
+    /// clear()/destruction).
+    struct RootVersion {
+        NodeT* root;
+        std::uint64_t epoch;
+        RootVersion* next;
+    };
+    /// Former roots detached by move-assignment (steal): unlike the old root
+    /// of a *growth* split — which stays reachable as a child of the new
+    /// root — these subtrees must be freed separately at clear()/destruction.
+    struct DetachedRoot {
+        NodeT* root;
+        DetachedRoot* next;
+    };
+
+    /// Global epoch; starts at 1. A snapshot pinned at boundary B observes
+    /// exactly the mutations of epochs < B. seq_cst on the advance/pin/CoW
+    /// loads: the single-location coherence order is what makes a writer's
+    /// in-CoW epoch read never run behind a boundary some reader has already
+    /// pinned (DESIGN.md §11.3).
+    std::atomic<std::uint64_t> epoch{1};
+    /// Epoch during which the live root pointer was last replaced; protected
+    /// by root_lock_ for writers, lease-validated by snapshot readers.
+    relaxed_value<std::uint64_t, Concurrent> root_mod_epoch{};
+    /// Newest-first chain of former roots (see RootVersion).
+    relaxed_value<RootVersion*, Concurrent> root_versions{};
+    DetachedRoot* detached = nullptr;
+    /// Never-free image storage (also holds RootVersion/DetachedRoot nodes).
+    RetainArena arena;
+    // Always-on per-tree stats (metrics.h counters are compile-gated; the
+    // soufflette --stats/--profile JSON needs these unconditionally).
+    std::atomic<std::uint64_t> advances{0};
+    std::atomic<std::uint64_t> pins{0};
+    std::atomic<std::uint64_t> cow_images{0};
+};
+template <typename NodeT, bool Concurrent>
+struct SnapTreeState<NodeT, Concurrent, false> {};
+
+} // namespace detail
+
 template <typename Key,
           typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
           typename Search = detail::DefaultSearch<Key, Compare, BlockSize>,
           typename Access = ConcurrentAccess,
           bool AllowDuplicates = false,
+          bool WithSnapshots = false,
           typename Alloc = NewDeleteNodeAlloc<
               Key, BlockSize, Access,
-              detail::search_wants_column<Search>()>>
+              detail::search_wants_column<Search>(), WithSnapshots>>
 class btree {
     static_assert(BlockSize >= 3, "nodes must hold at least three keys");
     static_assert(detail::search_policy_viable<Search, Key, Compare>(),
@@ -73,18 +126,35 @@ class btree {
     /// pay zero maintenance.
     static constexpr bool with_column = detail::search_wants_column<Search>();
 
-    using NodeT = detail::Node<Key, BlockSize, Access, with_column>;
-    using InnerT = detail::InnerNode<Key, BlockSize, Access, with_column>;
+    using NodeT =
+        detail::Node<Key, BlockSize, Access, with_column, WithSnapshots>;
+    using InnerT =
+        detail::InnerNode<Key, BlockSize, Access, with_column, WithSnapshots>;
     using Lease = OptimisticReadWriteLock::Lease;
     static constexpr bool concurrent = Access::concurrent;
+    using ImageT = typename NodeT::SnapImageT;
+    using InnerImageT = typename NodeT::SnapInnerImageT;
+    using SnapStateT =
+        detail::SnapTreeState<NodeT, Access::concurrent, WithSnapshots>;
+    // Snapshot retention frees detached subtrees with detail::free_subtree
+    // (per-node delete); arena-style allocators would need chunk adoption on
+    // steal() instead, which nothing needs yet.
+    static_assert(!WithSnapshots ||
+                      std::is_same_v<Alloc, NewDeleteNodeAlloc<
+                                                Key, BlockSize, Access,
+                                                with_column, WithSnapshots>>,
+                  "snapshot-enabled trees require the default new/delete "
+                  "node allocator");
 
 public:
     using key_type = Key;
     using value_type = Key;
     using const_iterator =
-        detail::Iterator<Key, BlockSize, Access, with_column>;
+        detail::Iterator<Key, BlockSize, Access, with_column, WithSnapshots>;
     using iterator = const_iterator; // keys are immutable once stored
     static constexpr unsigned block_size = BlockSize;
+    static constexpr bool allow_duplicates = AllowDuplicates;
+    static constexpr bool with_snapshots = WithSnapshots;
 
     // -- operation hints ----------------------------------------------------
 
@@ -132,17 +202,28 @@ public:
 
     btree& operator=(btree&& other) noexcept {
         if (this != &other) {
-            clear();
+            // Snapshot-enabled trees must NOT clear here: snapshots pinned
+            // before this move-assignment (the delta->full rotation pattern)
+            // stay valid — steal() retires the outgoing tree into the
+            // version chain instead of freeing it.
+            if constexpr (!WithSnapshots) clear();
             steal(other);
         }
         return *this;
     }
 
-    ~btree() { alloc_.release(root_.load()); }
+    ~btree() {
+        release_snapshot_state();
+        alloc_.release(root_.load());
+    }
 
     /// Removes all elements and frees all nodes. NOT thread-safe; every hint
-    /// pointing into this tree becomes invalid and must be reset.
+    /// pointing into this tree becomes invalid and must be reset. For
+    /// snapshot-enabled trees this also frees every retained image and
+    /// detached subtree: outstanding Snapshot handles become invalid (the
+    /// same lifetime contract hints already have).
     void clear() {
+        release_snapshot_state();
         alloc_.release(root_.load());
         root_.store(nullptr);
     }
@@ -291,7 +372,11 @@ public:
         unsigned depth = 0;
         while (packed_capacity(depth) < n) ++depth;
         It it = first;
-        out.root_.store(out.build_packed(it, n, depth));
+        // `out` is unpublished (no concurrent readers or epoch ticks yet),
+        // so one epoch load covers the whole build.
+        const std::uint64_t se = out.snap_epoch_now();
+        out.snap_retain_root(nullptr, se);
+        out.root_.store(out.build_packed(it, n, depth, se));
         return out;
     }
 
@@ -312,7 +397,8 @@ private:
     /// separator, then the next child — which is what lets the packed
     /// loader run off a forward iterator.
     template <typename It>
-    NodeT* build_packed(It& it, std::size_t s, unsigned depth) {
+    NodeT* build_packed(It& it, std::size_t s, unsigned depth,
+                        std::uint64_t snap_e) {
         if (depth == 0) {
             assert(s >= 1 && s <= BlockSize);
             NodeT* leaf = alloc_.make_leaf();
@@ -320,6 +406,7 @@ private:
                 leaf->template key_store<SeqAccess>(static_cast<unsigned>(i), *it);
             }
             leaf->num_elements.store(static_cast<std::uint32_t>(s));
+            snap_mark_fresh(leaf, snap_e);
             return leaf;
         }
         const std::size_t child_cap = packed_capacity(depth - 1);
@@ -332,7 +419,7 @@ private:
         const std::size_t r = s - (c - 1); // keys going into the children
         for (std::size_t i = 0; i < c; ++i) {
             const std::size_t share = r / c + (i < r % c ? 1 : 0);
-            NodeT* child = build_packed(it, share, depth - 1);
+            NodeT* child = build_packed(it, share, depth - 1, snap_e);
             node->children[i].store(child);
             child->parent.store(node);
             child->position.store(static_cast<std::uint32_t>(i));
@@ -343,6 +430,7 @@ private:
             }
         }
         node->num_elements.store(static_cast<std::uint32_t>(c - 1));
+        snap_mark_fresh(node, snap_e);
         return node;
     }
 
@@ -608,7 +696,393 @@ public:
         return check_node(r, nullptr, nullptr, 1, leaf_depth);
     }
 
+    // -- snapshots (WithSnapshots instantiations only; DESIGN.md §11) --------
+    //
+    // A Snapshot pins the tree at an epoch boundary B and observes exactly
+    // the mutations of epochs < B, CONCURRENTLY with writers: every node is
+    // resolved either to its live content (when its mod_epoch < B, read
+    // under a validated lease) or to the newest retained copy-on-write image
+    // older than B (immutable once published). Both resolutions are pure
+    // functions of B, so repeated reads of one snapshot are byte-identical —
+    // the linearization point of all of a snapshot's reads is the epoch
+    // advance that created its boundary.
+
+    /// Read-only consistent view pinned at an epoch boundary. Cheap to copy
+    /// (pointer + epoch). Valid until the tree is cleared, move-assigned
+    /// away from, or destroyed — the hint lifetime contract. All methods are
+    /// safe concurrently with insert()/insert_sorted_run() on the tree.
+    class Snapshot {
+    public:
+        Snapshot() = default;
+
+        bool valid() const { return tree_ != nullptr; }
+        /// The pinned boundary: mutations of epochs < epoch() are visible.
+        std::uint64_t epoch() const { return boundary_; }
+
+        bool contains(const Key& k) const { return find(k).has_value(); }
+
+        /// The stored key equal to k (a copy), or nullopt.
+        std::optional<Key> find(const Key& k) const {
+            return tree_->snap_find(k, boundary_);
+        }
+
+        /// Smallest stored key >= k (a copy), or nullopt.
+        std::optional<Key> lower_bound(const Key& k) const {
+            return tree_->snap_lower_bound(k, boundary_);
+        }
+
+        /// In-order visit of every key in the snapshot.
+        template <typename Fn>
+        void for_each(Fn&& fn) const {
+            tree_->snap_walk(tree_->snap_root(boundary_), boundary_, nullptr,
+                             nullptr, fn);
+        }
+
+        /// In-order visit of every key in [lo, hi) (half-open).
+        template <typename Fn>
+        void for_each_in_range(const Key& lo, const Key& hi, Fn&& fn) const {
+            tree_->snap_walk(tree_->snap_root(boundary_), boundary_, &lo, &hi,
+                             fn);
+        }
+
+        /// Number of keys in the snapshot (walks the snapshot: O(n)).
+        std::size_t size() const {
+            std::size_t n = 0;
+            for_each([&](const Key&) { ++n; });
+            return n;
+        }
+
+    private:
+        friend class btree;
+        Snapshot(const btree* t, std::uint64_t b) : tree_(t), boundary_(b) {}
+
+        const btree* tree_ = nullptr;
+        std::uint64_t boundary_ = 0;
+    };
+
+    /// Current epoch (>= 1).
+    std::uint64_t epoch() const {
+        static_assert(WithSnapshots, "epoch(): configure WithSnapshots");
+        return snap_.epoch.load(std::memory_order_seq_cst);
+    }
+
+    /// Advances the global epoch, making every mutation performed so far
+    /// visible to snapshots pinned afterwards. Thread-safe (any thread may
+    /// advance concurrently with writers and readers); returns the NEW epoch.
+    std::uint64_t advance_epoch() {
+        static_assert(WithSnapshots, "advance_epoch(): configure WithSnapshots");
+        const std::uint64_t e =
+            snap_.epoch.fetch_add(1, std::memory_order_seq_cst) + 1;
+        snap_.advances.fetch_add(1, std::memory_order_relaxed);
+        DTREE_METRIC_INC(epoch_advances);
+        return e;
+    }
+
+    /// Pins a snapshot at the current epoch boundary: it observes exactly
+    /// the mutations of epochs < epoch() — i.e. the tree's state as of the
+    /// last advance_epoch(). Thread-safe against concurrent writers.
+    Snapshot snapshot() const {
+        static_assert(WithSnapshots, "snapshot(): configure WithSnapshots");
+        snap_.pins.fetch_add(1, std::memory_order_relaxed);
+        DTREE_METRIC_INC(snapshot_pins);
+        return Snapshot(this, snap_.epoch.load(std::memory_order_seq_cst));
+    }
+
+    /// Always-on snapshot/retention stats (soufflette --stats/--profile).
+    struct snapshot_stats {
+        std::uint64_t epoch = 0;
+        std::uint64_t advances = 0;
+        std::uint64_t pins = 0;
+        std::uint64_t cow_images = 0;
+        std::size_t retained_bytes = 0;
+    };
+
+    snapshot_stats snap_stats() const {
+        static_assert(WithSnapshots, "snap_stats(): configure WithSnapshots");
+        snapshot_stats s;
+        s.epoch = snap_.epoch.load(std::memory_order_relaxed);
+        s.advances = snap_.advances.load(std::memory_order_relaxed);
+        s.pins = snap_.pins.load(std::memory_order_relaxed);
+        s.cow_images = snap_.cow_images.load(std::memory_order_relaxed);
+        s.retained_bytes = snap_.arena.retained_bytes();
+        return s;
+    }
+
 private:
+    // -- snapshot machinery (DESIGN.md §11) ----------------------------------
+
+    /// A reader-private resolved copy of one node's content for boundary B:
+    /// either the live content (copied under a validated lease) or a
+    /// retained image. Plain arrays — no atomics — because it is a copy.
+    struct NodeView {
+        unsigned n = 0;
+        bool inner = false;
+        Key keys[BlockSize];
+        NodeT* children[BlockSize + 1];
+    };
+
+    /// Resolves `node` to its content for boundary B. Retries on lease
+    /// validation failure (same discipline as the optimistic descent).
+    void snap_read_node(const NodeT* node, std::uint64_t B,
+                        NodeView& out) const {
+        for (;;) {
+            const Lease lease = node->lock.start_read();
+            const std::uint64_t m = node->snap.mod_epoch.load();
+            if (m < B) {
+                // Live content IS the content for B. Copy, then validate: a
+                // failed validation discards the copy (seqlock discipline).
+                const unsigned n = node->num_elements.load();
+                if (n <= BlockSize) {
+                    out.n = n;
+                    out.inner = node->inner;
+                    for (unsigned i = 0; i < n; ++i) {
+                        out.keys[i] = Access::load(node->keys[i]);
+                    }
+                    if (node->inner) {
+                        const InnerT* in = node->as_inner();
+                        for (unsigned i = 0; i <= n; ++i) {
+                            out.children[i] = in->children[i].load();
+                        }
+                    }
+                    if (node->lock.validate(lease)) return;
+                }
+                continue; // torn read or writer interleaved: retry
+            }
+            // Modified at-or-after B: resolve through the immutable image
+            // chain. The lease validation pins (m, versions-head) to one
+            // quiescent node state, so the chain read here is guaranteed to
+            // contain the image covering B (published before mod_epoch was
+            // raised past it).
+            const ImageT* img = node->snap.versions.load_acquire();
+            if (!node->lock.validate(lease)) continue;
+            while (img && img->epoch >= B) img = img->next;
+            if (!img) {
+                // Node born in an epoch >= B: it holds no pre-B content.
+                // Unreachable from pre-B structure; defensively empty.
+                out.n = 0;
+                out.inner = false;
+                return;
+            }
+            out.n = img->n;
+            out.inner = img->inner;
+            for (unsigned i = 0; i < img->n; ++i) out.keys[i] = img->keys[i];
+            if (img->inner) {
+                const auto* iimg = static_cast<const InnerImageT*>(img);
+                for (unsigned i = 0; i <= img->n; ++i) {
+                    out.children[i] = iimg->children[i];
+                }
+            }
+            return;
+        }
+    }
+
+    /// Resolves the root pointer for boundary B (nullptr = empty at B).
+    NodeT* snap_root(std::uint64_t B) const {
+        for (;;) {
+            const Lease lease = root_lock_.start_read();
+            NodeT* root = root_.load_acquire();
+            const std::uint64_t rm = snap_.root_mod_epoch.load();
+            const typename SnapStateT::RootVersion* rv =
+                snap_.root_versions.load_acquire();
+            if (!root_lock_.end_read(lease)) continue;
+            if (rm < B) return root;
+            while (rv && rv->epoch >= B) rv = rv->next;
+            return rv ? rv->root : nullptr;
+        }
+    }
+
+    /// First index in the view whose key is >= k (plain binary search over
+    /// the private copy; the SIMD kernels only exist for live node layouts).
+    unsigned view_lower(const NodeView& v, const Key& k) const {
+        unsigned lo = 0, hi = v.n;
+        while (lo < hi) {
+            const unsigned mid = lo + (hi - lo) / 2;
+            if (comp_(v.keys[mid], k) < 0) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        return lo;
+    }
+
+    /// In-order walk of the snapshot-resolved subtree under `node`,
+    /// restricted to [lo, hi) when bounds are given (nullptr = unbounded).
+    template <typename Fn>
+    void snap_walk(NodeT* node, std::uint64_t B, const Key* lo, const Key* hi,
+                   Fn&& fn) const {
+        if (!node) return;
+        NodeView v;
+        snap_read_node(node, B, v);
+        const unsigned from = lo ? view_lower(v, *lo) : 0;
+        const unsigned to = hi ? view_lower(v, *hi) : v.n;
+        if (!v.inner) {
+            for (unsigned i = from; i < to; ++i) fn(v.keys[i]);
+            return;
+        }
+        // Children outside [from, to] cannot intersect the range; separator
+        // keys[i] for i in [from, to) lie inside it by construction.
+        for (unsigned i = from;; ++i) {
+            snap_walk(v.children[i], B, lo, hi, fn);
+            if (i >= to || i >= v.n) break;
+            fn(v.keys[i]);
+        }
+    }
+
+    std::optional<Key> snap_find(const Key& k, std::uint64_t B) const {
+        NodeT* cur = snap_root(B);
+        while (cur) {
+            NodeView v;
+            snap_read_node(cur, B, v);
+            const unsigned pos = view_lower(v, k);
+            if (pos < v.n && comp_.equal(v.keys[pos], k)) return v.keys[pos];
+            if (!v.inner) return std::nullopt;
+            cur = v.children[pos];
+        }
+        return std::nullopt;
+    }
+
+    std::optional<Key> snap_lower_bound(const Key& k, std::uint64_t B) const {
+        NodeT* cur = snap_root(B);
+        std::optional<Key> best;
+        while (cur) {
+            NodeView v;
+            snap_read_node(cur, B, v);
+            const unsigned pos = view_lower(v, k);
+            if (!v.inner) {
+                if (pos < v.n) return v.keys[pos];
+                return best;
+            }
+            if constexpr (!AllowDuplicates) {
+                // An equal separator is the answer for sets; multisets must
+                // keep descending for the leftmost duplicate.
+                if (pos < v.n && comp_.equal(v.keys[pos], k)) {
+                    return v.keys[pos];
+                }
+            }
+            if (pos < v.n) best = v.keys[pos];
+            cur = v.children[pos];
+        }
+        return best;
+    }
+
+    /// The operation epoch: every structural mutation loads this ONCE, after
+    /// acquiring ALL the locks the operation will hold, and threads the value
+    /// through each snap_retain / snap_mark_fresh / snap_retain_root it
+    /// performs. One load per operation is what makes a multi-node mutation
+    /// (a split touching leaf + sibling + parent + root) atomic with respect
+    /// to epoch boundaries: if the epoch ticks mid-operation, every touched
+    /// node is still stamped with the same pre-tick epoch, so any boundary
+    /// sees the operation entirely or not at all. (Independent loads per
+    /// node tear: leaf stamped E, parent stamped E+1 — a reader at B = E+1
+    /// then resolves the parent to its pre-split image but the leaf live
+    /// post-split, losing the keys moved to the sibling.) Loading AFTER the
+    /// locks are held keeps per-node stamps monotonic: any earlier stamp on
+    /// a locked node came from an operation that completed before our load,
+    /// so it is <= the value we read. The seq_cst load also can never run
+    /// behind a boundary a reader pinned before this write began (§11.3),
+    /// which is what keeps pinned snapshots byte-stable.
+    std::uint64_t snap_epoch_now() const {
+        if constexpr (WithSnapshots) {
+            return snap_.epoch.load(std::memory_order_seq_cst);
+        } else {
+            return 0;
+        }
+    }
+
+    /// Copy-on-write hook: called by every mutation path with exclusive
+    /// access to `node` (write lock held / sequential) and the operation
+    /// epoch `e` from snap_epoch_now(). If the node's last modification
+    /// predates `e`, its pre-mutation content is captured into an immutable
+    /// image (retained forever) BEFORE the caller modifies it; at most one
+    /// image per node per epoch.
+    void snap_retain(NodeT* node, std::uint64_t e) {
+        if constexpr (WithSnapshots) {
+            const std::uint64_t m = node->snap.mod_epoch.load();
+            if (m >= e) return; // already touched this epoch
+            const unsigned n = node->num_elements.load();
+            ImageT* img;
+            if (node->inner) {
+                auto* iimg = snap_.arena.template make<InnerImageT>();
+                const InnerT* in = node->as_inner();
+                for (unsigned i = 0; i <= n; ++i) {
+                    iimg->children[i] = in->children[i].load();
+                }
+                img = iimg;
+            } else {
+                img = snap_.arena.template make<ImageT>();
+            }
+            img->epoch = m;
+            img->n = n;
+            img->inner = node->inner;
+            for (unsigned i = 0; i < n; ++i) img->keys[i] = node->keys[i];
+            img->next = node->snap.versions.load();
+            // Release: a reader following the chain head must see the image
+            // fully constructed.
+            node->snap.versions.store_release(img);
+            node->snap.mod_epoch.store(e);
+            snap_.cow_images.fetch_add(1, std::memory_order_relaxed);
+            DTREE_METRIC_INC(snapshot_cow_images);
+        } else {
+            (void)node;
+            (void)e;
+        }
+    }
+
+    /// Marks a freshly created (still unpublished) node as born in the
+    /// operation epoch `e`: snapshots at boundaries <= e resolve it to
+    /// empty content instead of its live keys.
+    void snap_mark_fresh(NodeT* node, std::uint64_t e) {
+        if constexpr (WithSnapshots) {
+            node->snap.mod_epoch.store(e);
+        } else {
+            (void)node;
+            (void)e;
+        }
+    }
+
+    /// Root-replacement hook: called with the root lock held (or exclusive
+    /// access), BEFORE root_ is overwritten, with the operation epoch `e`.
+    /// Retains the outgoing root in the root-version chain so snapshots at
+    /// pre-replacement boundaries still resolve it.
+    void snap_retain_root(NodeT* old_root, std::uint64_t e) {
+        if constexpr (WithSnapshots) {
+            const std::uint64_t m = snap_.root_mod_epoch.load();
+            if (m < e) {
+                auto* rv =
+                    snap_.arena
+                        .template make<typename SnapStateT::RootVersion>();
+                rv->root = old_root;
+                rv->epoch = m;
+                rv->next = snap_.root_versions.load();
+                snap_.root_versions.store_release(rv);
+                snap_.root_mod_epoch.store(e);
+            }
+            // m == e: this epoch's chain entry already covers B <= e, and
+            // boundaries > e read the live root.
+        } else {
+            (void)old_root;
+            (void)e;
+        }
+    }
+
+    /// Frees detached subtrees and all retained images/chains (clear() and
+    /// the destructor). The epoch itself is NOT reset: it stays monotonic so
+    /// stale Snapshot handles can never alias a future boundary.
+    void release_snapshot_state() {
+        if constexpr (WithSnapshots) {
+            for (auto* d = snap_.detached; d;) {
+                auto* next = d->next;
+                detail::free_subtree(d->root);
+                d = next;
+            }
+            snap_.detached = nullptr;
+            snap_.root_versions.store(nullptr);
+            snap_.root_mod_epoch.store(0);
+            snap_.arena.release();
+        }
+    }
+
     // -- sequential insertion -----------------------------------------------
 
     bool insert_sequential(const Key& k, operation_hints& hints) {
@@ -634,6 +1108,9 @@ private:
             NodeT* leaf = alloc_.make_leaf();
             leaf->template key_store<SeqAccess>(0, k);
             leaf->num_elements.store(1);
+            const std::uint64_t se = snap_epoch_now();
+            snap_mark_fresh(leaf, se);
+            snap_retain_root(nullptr, se);
             root_.store(leaf);
             hints.set(HintKind::Insert, leaf);
             return true;
@@ -659,13 +1136,14 @@ private:
         }
 
         if (cur->full()) {
-            split_and_propagate(cur);
+            split_and_propagate(cur, snap_epoch_now());
             // The leaf's key range halved; simply re-run the insert (the
             // concurrent path restarts in exactly the same way).
             return insert_sequential_from(k, hints, nullptr);
         }
 
         const unsigned n = cur->num_elements.load();
+        snap_retain(cur, snap_epoch_now());
         for (unsigned i = n; i > pos; --i) {
             cur->template key_move<SeqAccess>(i, i - 1);
         }
@@ -692,6 +1170,9 @@ private:
                 // Unpublished: plain stores are fine.
                 leaf->template key_store<SeqAccess>(0, k);
                 leaf->num_elements.store(1);
+                const std::uint64_t se = snap_epoch_now();
+                snap_mark_fresh(leaf, se);
+                snap_retain_root(nullptr, se);
                 root_.store_release(leaf);
                 root_lock_.end_write();
                 hints.stats.miss(HintKind::Insert); // cold slot on first insert
@@ -820,6 +1301,7 @@ private:
             leaf->lock.end_write();
             return LeafResult::Retry;
         }
+        snap_retain(leaf, snap_epoch_now());
         for (unsigned i = n; i > pos; --i) {
             leaf->template key_move<Access>(i, i - 1);
         }
@@ -880,9 +1362,12 @@ private:
         // Phase 2: the actual split, with exclusive access to everything it
         // will touch (line 26). Fresh inner siblings created along the way
         // are born write-locked (see split_and_propagate) and collected here.
+        // The operation epoch is loaded HERE — after phase 1, so every node
+        // the split will stamp is already locked (see snap_epoch_now) — and
+        // used for every retention the whole restructuring performs.
         NodeT* created[64];
         unsigned n_created = 0;
-        split_and_propagate(node, created, &n_created);
+        split_and_propagate(node, snap_epoch_now(), created, &n_created);
 
         // Phase 3: unlock top-down (lines 28-35).
         for (unsigned i = depth; i-- > 0;) {
@@ -902,7 +1387,11 @@ private:
     /// write-locked). Keeps the lower half in `node`, moves the upper half to
     /// a fresh right sibling, promotes the median to the parent — splitting
     /// full parents recursively (they are locked, see split_concurrent).
-    void split_and_propagate(NodeT* node, NodeT** created = nullptr,
+    /// `snap_e` is the operation epoch (snap_epoch_now() loaded once with all
+    /// locks held): every node the restructuring touches is stamped with it,
+    /// so the split is visible to a boundary entirely or not at all.
+    void split_and_propagate(NodeT* node, std::uint64_t snap_e,
+                             NodeT** created = nullptr,
                              unsigned* n_created = nullptr) {
         assert(node->full());
         if (node->inner) {
@@ -911,10 +1400,13 @@ private:
             DTREE_METRIC_INC(btree_leaf_splits);
         }
         constexpr unsigned mid = BlockSize / 2;
+        // Pre-split content (keys AND children) for readers.
+        snap_retain(node, snap_e);
         const Key median = node->keys[mid]; // we are the only writer: plain read
 
         NodeT* sibling = node->inner ? static_cast<NodeT*>(alloc_.make_inner())
                                      : alloc_.make_leaf();
+        snap_mark_fresh(sibling, snap_e);
         // A fresh *inner* sibling becomes reachable before this split
         // finishes: the rehoming loop below publishes it through its
         // children's parent pointers, which a concurrent bottom-up split
@@ -954,6 +1446,7 @@ private:
             // node was the root: grow the tree (root lock is held /
             // sequential mode has exclusive access anyway).
             InnerT* new_root = alloc_.make_inner();
+            snap_mark_fresh(new_root, snap_e);
             new_root->template key_store<SeqAccess>(0, median);
             new_root->children[0].store(node);
             new_root->children[1].store(sibling);
@@ -965,26 +1458,29 @@ private:
             node->position.store(0);
             sibling->parent.store_release(new_root);
             sibling->position.store(1);
+            snap_retain_root(node, snap_e); // root lock held / sequential
             root_.store_release(new_root);
             DTREE_METRIC_INC(btree_root_replacements);
             return;
         }
         if (parent->full()) {
-            split_and_propagate(parent, created, n_created);
+            split_and_propagate(parent, snap_e, created, n_created);
             // The parent's split may have rehomed `node` under the parent's
             // new sibling; its parent/position fields are up to date (we hold
             // the necessary locks in concurrent mode).
             parent = node->parent.load();
         }
-        insert_child(parent, node->position.load(), median, sibling);
+        insert_child(parent, node->position.load(), median, sibling, snap_e);
     }
 
     /// Inserts (median, right_child) into a non-full inner node directly
-    /// after child position `pos`. Exclusive access required.
+    /// after child position `pos`. Exclusive access required; `snap_e` is
+    /// the enclosing split's operation epoch.
     void insert_child(InnerT* parent, unsigned pos, const Key& median,
-                      NodeT* right_child) {
+                      NodeT* right_child, std::uint64_t snap_e) {
         const unsigned n = parent->num_elements.load();
         assert(n < BlockSize);
+        snap_retain(parent, snap_e);
         for (unsigned i = n; i > pos; --i) {
             parent->template key_move<Access>(i, i - 1);
         }
@@ -1078,6 +1574,8 @@ private:
             have_prev = true;
         }
         if (taken > 0) {
+            // Pre-merge image, before buf is written back.
+            snap_retain(leaf, snap_epoch_now());
             while (i < n) buf[nb++] = leaf->keys[i++];
             assert(!need_split || nb == BlockSize);
             for (unsigned j = 0; j < nb; ++j) {
@@ -1127,6 +1625,9 @@ private:
             have_prev = true;
         }
         leaf->num_elements.store(nb);
+        const std::uint64_t se = snap_epoch_now();
+        snap_mark_fresh(leaf, se);
+        snap_retain_root(nullptr, se);
         root_.store_release(leaf);
         root_lock_.end_write();
         hints.stats.miss(HintKind::Insert); // cold slot on first insert
@@ -1281,6 +1782,9 @@ private:
                 have_prev = true;
             }
             leaf->num_elements.store(nb);
+            const std::uint64_t se = snap_epoch_now();
+            snap_mark_fresh(leaf, se);
+            snap_retain_root(nullptr, se);
             root_.store(leaf);
             hints.stats.miss(HintKind::Insert);
             hints.set(HintKind::Insert, leaf);
@@ -1297,7 +1801,7 @@ private:
                                        /*hi_inclusive=*/true, inserted,
                                        need_split);
             if (need_split) {
-                split_and_propagate(h);
+                split_and_propagate(h, snap_epoch_now());
             } else {
                 hints.set(HintKind::Insert, h);
             }
@@ -1323,7 +1827,7 @@ private:
                                    /*hi_inclusive=*/false, inserted,
                                    need_split);
         if (need_split) {
-            split_and_propagate(cur);
+            split_and_propagate(cur, snap_epoch_now());
         } else {
             hints.set(HintKind::Insert, cur);
         }
@@ -1450,8 +1954,51 @@ private:
     }
 
     void steal(btree& other) {
-        root_.store(other.root_.load());
-        other.root_.store(nullptr);
+        if constexpr (WithSnapshots) {
+            // Snapshots pinned on *this* before the move must keep resolving
+            // the outgoing tree: retire the old root into the version chain
+            // and keep its subtree alive until clear()/destruction (the
+            // never-free lifetime model, extended across move-assignment).
+            // No writer is active during a move, but snapshot readers may be
+            // resolving snap_root() concurrently (soufflette --serve-probe):
+            // hold the root seqlock across the whole transition so their
+            // leases fail and they retry against the published chain.
+            root_lock_.start_write();
+            NodeT* old_root = root_.load();
+            snap_retain_root(old_root, snap_epoch_now());
+            if (old_root) {
+                auto* d = snap_.arena
+                              .template make<typename SnapStateT::DetachedRoot>();
+                d->root = old_root;
+                d->next = snap_.detached;
+                snap_.detached = d;
+            }
+            // Adopt the donor's retained images (its nodes become ours) plus
+            // any subtrees the donor was itself keeping alive.
+            snap_.arena.adopt(std::move(other.snap_.arena));
+            if (auto* od = other.snap_.detached) {
+                auto* tail = od;
+                while (tail->next) tail = tail->next;
+                tail->next = snap_.detached;
+                snap_.detached = od;
+                other.snap_.detached = nullptr;
+            }
+            other.snap_.root_versions.store(nullptr);
+            other.snap_.root_mod_epoch.store(0);
+            // Epochs only move forward, even across move-assignment — a
+            // stale Snapshot must never alias a future boundary.
+            const std::uint64_t oe =
+                other.snap_.epoch.load(std::memory_order_seq_cst);
+            if (oe > snap_.epoch.load(std::memory_order_seq_cst)) {
+                snap_.epoch.store(oe, std::memory_order_seq_cst);
+            }
+            root_.store(other.root_.load());
+            other.root_.store(nullptr);
+            root_lock_.end_write();
+        } else {
+            root_.store(other.root_.load());
+            other.root_.store(nullptr);
+        }
         alloc_ = std::move(other.alloc_);
     }
 
@@ -1463,6 +2010,9 @@ private:
     OptimisticReadWriteLock root_lock_;
     [[no_unique_address]] Compare comp_;
     [[no_unique_address]] Alloc alloc_;
+    /// Epoch/snapshot state; empty (zero-size) unless WithSnapshots. Mutable
+    /// because pinning a snapshot from a const tree bumps the pin counter.
+    [[no_unique_address]] mutable SnapStateT snap_;
 };
 
 // ---------------------------------------------------------------------------
@@ -1499,7 +2049,7 @@ template <typename Key, typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
           typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
 using arena_btree_set =
-    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false,
+    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false, false,
           ArenaNodeAlloc<Key, BlockSize, ConcurrentAccess,
                          detail::search_wants_column<Search>()>>;
 
@@ -1507,8 +2057,29 @@ template <typename Key, typename Compare = ThreeWayComparator<Key>,
           unsigned BlockSize = detail::default_block_size<Key>(),
           typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
 using arena_seq_btree_set =
-    btree<Key, Compare, BlockSize, Search, SeqAccess, false,
+    btree<Key, Compare, BlockSize, Search, SeqAccess, false, false,
           ArenaNodeAlloc<Key, BlockSize, SeqAccess,
                          detail::search_wants_column<Search>()>>;
+
+/// Snapshot-enabled variants (DESIGN.md §11): the same tree plus the
+/// epoch/Snapshot API. The plain aliases above stay bit-identical to the
+/// paper-faithful layout — their per-node SnapState is an empty member.
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using snapshot_btree_set =
+    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false, true>;
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using snapshot_btree_multiset =
+    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, true, true>;
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using snapshot_seq_btree_set =
+    btree<Key, Compare, BlockSize, Search, SeqAccess, false, true>;
 
 } // namespace dtree

@@ -74,8 +74,55 @@ constexpr bool dense_column_key() {
 // Nodes
 // ---------------------------------------------------------------------------
 
-template <typename Key, unsigned BlockSize, typename Access, bool WithColumn>
+template <typename Key, unsigned BlockSize, typename Access, bool WithColumn,
+          bool WithSnapshots>
 struct InnerNode;
+
+// ---------------------------------------------------------------------------
+// Snapshot images (DESIGN.md §11) — only instantiated for WithSnapshots trees
+// ---------------------------------------------------------------------------
+
+/// Immutable copy-on-write image of a node's content as of some epoch.
+/// `epoch` is the mod_epoch the content carried when it was captured: the
+/// image is the correct view of the node for every snapshot boundary B with
+/// epoch < B <= (epoch of the NEXT-newer image, or the node's live
+/// mod_epoch). Images chain newest-first through `next` with strictly
+/// decreasing epochs, are allocated from the tree's RetainArena, and are
+/// never freed until the tree is cleared/destroyed (the never-free model).
+template <typename Key, unsigned BlockSize>
+struct SnapImage {
+    SnapImage* next = nullptr; ///< next-older image, or null
+    std::uint64_t epoch = 0;   ///< mod_epoch of the captured content
+    std::uint32_t n = 0;       ///< valid keys in keys[]
+    bool inner = false;        ///< downcast marker for SnapInnerImage
+    Key keys[BlockSize];
+};
+
+/// Inner-node image: additionally captures the child pointers. Children are
+/// live node pointers — safe to hold forever (nodes are never freed or moved
+/// while the tree lives); a snapshot reader recursing through them applies
+/// the same per-node version selection, so post-boundary structural changes
+/// below are invisible.
+template <typename Key, unsigned BlockSize, typename NodeT>
+struct SnapInnerImage : SnapImage<Key, BlockSize> {
+    NodeT* children[BlockSize + 1];
+};
+
+/// Per-node snapshot state: the epoch of the node's last modification and
+/// the head of its immutable version chain. Both are protected by the node's
+/// write lock for writers; snapshot readers load them under a lease (or
+/// follow the acquire-published chain). Specialised to an empty member for
+/// non-snapshot trees so their node layout stays bit-identical to the seed.
+template <typename Key, unsigned BlockSize, bool Concurrent, bool Present>
+struct SnapState {
+    using ImageT = SnapImage<Key, BlockSize>;
+    /// Epoch of the last modification (0 until first touched/marked).
+    relaxed_value<std::uint64_t, Concurrent> mod_epoch{};
+    /// Newest-first chain of retained images; store_release on publish.
+    relaxed_value<ImageT*, Concurrent> versions{};
+};
+template <typename Key, unsigned BlockSize, bool Concurrent>
+struct SnapState<Key, BlockSize, Concurrent, false> {};
 
 /// Storage for an inner node's separate first-column cache; specialised away
 /// to an empty member when the key has no usable column, the key array
@@ -126,10 +173,13 @@ struct Column2Store<C, N, false> {};
 /// they skip the storage and the maintenance entirely — their node layout
 /// and write paths stay bit-identical to the pre-column tree.
 template <typename Key, unsigned BlockSize, typename Access,
-          bool WithColumn = true>
+          bool WithColumn = true, bool WithSnapshots = false>
 struct Node {
     static constexpr bool concurrent = Access::concurrent;
-    using Inner = InnerNode<Key, BlockSize, Access, WithColumn>;
+    static constexpr bool with_snapshots = WithSnapshots;
+    using Inner = InnerNode<Key, BlockSize, Access, WithColumn, WithSnapshots>;
+    using SnapImageT = SnapImage<Key, BlockSize>;
+    using SnapInnerImageT = SnapInnerImage<Key, BlockSize, Node>;
     using FirstCol = dtree::first_column<Key>;
     /// The tree's search policy reads column views of this node's keys.
     static constexpr bool has_column = WithColumn && FirstCol::available;
@@ -172,6 +222,10 @@ struct Node {
     /// Key storage; slots [0, num_elements) are valid. Protected by this
     /// node's lock; racy readers copy elements via Access and validate.
     Key keys[BlockSize];
+
+    /// Snapshot version state (empty for non-snapshot trees; see SnapState).
+    [[no_unique_address]] SnapState<Key, BlockSize, concurrent, WithSnapshots>
+        snap;
 
     explicit Node(bool is_inner) : inner(is_inner) {}
 
@@ -268,9 +322,9 @@ struct Node {
 };
 
 template <typename Key, unsigned BlockSize, typename Access,
-          bool WithColumn = true>
-struct InnerNode : Node<Key, BlockSize, Access, WithColumn> {
-    using Base = Node<Key, BlockSize, Access, WithColumn>;
+          bool WithColumn = true, bool WithSnapshots = false>
+struct InnerNode : Node<Key, BlockSize, Access, WithColumn, WithSnapshots> {
+    using Base = Node<Key, BlockSize, Access, WithColumn, WithSnapshots>;
     using col_type = typename Base::col_type;
     static constexpr bool concurrent = Access::concurrent;
 
@@ -309,8 +363,9 @@ struct InnerNode : Node<Key, BlockSize, Access, WithColumn> {
 
 /// Frees a node and, recursively, everything below it. Only safe without
 /// concurrent users (destructor / clear()).
-template <typename Key, unsigned BlockSize, typename Access, bool WithColumn>
-void free_subtree(Node<Key, BlockSize, Access, WithColumn>* n) {
+template <typename Key, unsigned BlockSize, typename Access, bool WithColumn,
+          bool WithSnapshots>
+void free_subtree(Node<Key, BlockSize, Access, WithColumn, WithSnapshots>* n) {
     if (!n) return;
     if (n->inner) {
         auto* in = n->as_inner();
@@ -1020,10 +1075,10 @@ using DefaultSearch = std::conditional_t<
 /// is found. Iteration is only defined while no writer is active (§2's
 /// two-phase guarantee).
 template <typename Key, unsigned BlockSize, typename Access,
-          bool WithColumn = true>
+          bool WithColumn = true, bool WithSnapshots = false>
 class Iterator {
 public:
-    using NodeT = Node<Key, BlockSize, Access, WithColumn>;
+    using NodeT = Node<Key, BlockSize, Access, WithColumn, WithSnapshots>;
     using value_type = Key;
     using reference = const Key&;
     using pointer = const Key*;

@@ -60,6 +60,12 @@ struct EngineStats {
     std::uint64_t input_tuples = 0;
     std::uint64_t produced_tuples = 0;
     std::uint64_t iterations = 0; ///< total fixpoint iterations across strata
+    // Epoch/snapshot layer (DESIGN.md §11); all-zero for non-snapshot storage.
+    std::uint64_t epoch = 0;          ///< max tree epoch across relations
+    std::uint64_t epoch_advances = 0; ///< delta rotations + the final publish
+    std::uint64_t snapshot_pins = 0;
+    std::uint64_t snapshot_cow_images = 0;
+    std::uint64_t snapshot_retained_bytes = 0; ///< retention footprint
 
     /// One flat object — the `stats` section of soufflette --profile=FILE.
     void write_json(json::Writer& w) const {
@@ -73,6 +79,14 @@ struct EngineStats {
         w.kv("input_tuples", input_tuples);
         w.kv("produced_tuples", produced_tuples);
         w.kv("fixpoint_iterations", iterations);
+        w.key("snapshots");
+        w.begin_object();
+        w.kv("epoch", epoch);
+        w.kv("epoch_advances", epoch_advances);
+        w.kv("snapshot_pins", snapshot_pins);
+        w.kv("snapshot_cow_images", snapshot_cow_images);
+        w.kv("snapshot_retained_bytes", snapshot_retained_bytes);
+        w.end_object();
         w.key("hints");
         hints.write_json(w);
         w.end_object();
@@ -188,6 +202,12 @@ public:
         runtime::Scheduler::instance().reserve(threads);
         views_.reset(threads);
         for (const Stratum& stratum : prog_.strata) evaluate_stratum(stratum);
+        // Publish the final state to snapshots pinned after the run (rules
+        // writing straight to FULL — non-recursive strata — would otherwise
+        // stay invisible until some later rotation).
+        if constexpr (RelationT::snapshot_capable) {
+            for (auto& rel : relations_) rel->advance_epoch();
+        }
         // Retire cached views: flushes their op counters and hint stats into
         // the relations so stats() sees the whole run.
         views_.clear();
@@ -221,6 +241,16 @@ public:
         s.input_tuples = input_tuples_;
         s.produced_tuples = total >= input_tuples_ ? total - input_tuples_ : 0;
         s.iterations = iterations_;
+        if constexpr (RelationT::snapshot_capable) {
+            for (const auto& rel : relations_) {
+                const auto snap = rel->snap_stats();
+                s.epoch = std::max(s.epoch, snap.epoch);
+                s.epoch_advances += snap.advances;
+                s.snapshot_pins += snap.pins;
+                s.snapshot_cow_images += snap.cow_images;
+                s.snapshot_retained_bytes += snap.retained_bytes;
+            }
+        }
         return s;
     }
 
@@ -324,6 +354,16 @@ private:
                 }
                 delta[rel]->clear();
                 delta[rel]->swap_contents(nw);
+            }
+            // The delta->full rotation IS the epoch boundary (§11):
+            // everything merged into FULL above becomes visible to snapshots
+            // pinned from here on, atomically per relation.
+            if constexpr (RelationT::snapshot_capable) {
+                if (progress) {
+                    for (std::size_t rel : stratum.relations) {
+                        relations_[rel]->advance_epoch();
+                    }
+                }
             }
             if (!progress) break;
         }

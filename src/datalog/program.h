@@ -20,6 +20,9 @@ AnalyzedProgram compile(const std::string& source);
 /// is exactly how the paper ran them in the parallel engine.
 namespace storage {
 using OurBTree = baselines::OurBTreeAdapter<StorageTuple>;
+/// Snapshot-enabled flavour (DESIGN.md §11): same tree + Relation::snapshot()
+/// for consistent reads concurrent with evaluation (soufflette --serve-probe).
+using OurBTreeSnap = baselines::OurBTreeSnapAdapter<StorageTuple>;
 using OurBTreeNoHints = baselines::OurBTreeNoHintsAdapter<StorageTuple>;
 using StlSet = baselines::GlobalLockAdapter<baselines::StlSetAdapter<StorageTuple>>;
 using StlHashSet = baselines::GlobalLockAdapter<baselines::StlHashSetAdapter<StorageTuple>>;

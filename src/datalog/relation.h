@@ -19,6 +19,7 @@
 // (operation hints!) and plain op counters that are aggregated afterwards —
 // this is what produces the Table 2 statistics and the §4.3 hint hit rates.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <limits>
@@ -141,6 +142,114 @@ public:
 
     void clear() {
         for (auto& idx : indexes_) idx->clear();
+    }
+
+    // -- snapshot reads (DESIGN.md §11) --------------------------------------
+
+    /// Does the storage expose the epoch/snapshot surface? True for the
+    /// snapshot-enabled B-tree adapter (storage::OurBTreeSnap); false keeps
+    /// the paper-faithful phase-concurrent contract untouched.
+    static constexpr bool snapshot_capable =
+        requires(const Storage& cs, Storage& s) {
+            cs.snapshot();
+            s.advance_epoch();
+        };
+
+    /// A pinned, consistent view of this relation: every query observes
+    /// exactly the tuples published up to one epoch boundary, CONCURRENTLY
+    /// with evaluation threads inserting. Queries run against the primary
+    /// index (tuples come back in source column order). Valid until the
+    /// relation is cleared or destroyed.
+    class SnapshotView {
+    public:
+        std::uint64_t epoch() const { return snap_.epoch(); }
+
+        bool contains(const StorageTuple& t) const { return snap_.contains(t); }
+
+        template <typename Fn>
+        void for_each(Fn&& fn) const {
+            snap_.for_each(fn);
+        }
+
+        /// All tuples whose first `prefix` columns equal `bound[0..prefix)`,
+        /// in lexicographic order (the snapshot analogue of scan_prefix on
+        /// the primary index).
+        template <typename Fn>
+        void scan_prefix(const StorageTuple& bound, unsigned prefix,
+                         Fn&& fn) const {
+            StorageTuple lo{}, hi{};
+            for (unsigned c = 0; c < prefix; ++c) {
+                lo[c] = bound[c];
+                hi[c] = bound[c];
+            }
+            // Exclusive upper bound: the prefix incremented as a number,
+            // with carry. All-max prefixes (and prefix == 0) have no upper
+            // bound — scan to the end.
+            bool open = true;
+            for (unsigned c = prefix; c-- > 0;) {
+                if (hi[c] != std::numeric_limits<Value>::max()) {
+                    ++hi[c];
+                    for (unsigned d = c + 1; d < kMaxArity; ++d) hi[d] = 0;
+                    open = false;
+                    break;
+                }
+            }
+            if (open) {
+                snap_.for_each([&](const StorageTuple& t) {
+                    for (unsigned c = 0; c < prefix; ++c) {
+                        if (t[c] < lo[c]) return;
+                    }
+                    fn(t);
+                });
+            } else {
+                snap_.for_each_in_range(lo, hi, fn);
+            }
+        }
+
+        /// Tuple count at the pinned boundary (walks the snapshot: O(n)).
+        std::size_t size() const { return snap_.size(); }
+
+    private:
+        friend class Relation;
+        explicit SnapshotView(typename Storage::snapshot_type s)
+            : snap_(std::move(s)) {}
+
+        typename Storage::snapshot_type snap_;
+    };
+
+    /// Pins a snapshot of the primary index at the current epoch boundary.
+    /// Thread-safe against concurrent evaluation.
+    SnapshotView snapshot() const
+        requires(snapshot_capable)
+    {
+        return SnapshotView(indexes_[0]->snapshot());
+    }
+
+    /// Publishes all tuples inserted so far to future snapshots (every
+    /// index advances; the primary's new epoch is returned). Called by the
+    /// evaluator at each delta->full rotation.
+    std::uint64_t advance_epoch()
+        requires(snapshot_capable)
+    {
+        std::uint64_t e = 0;
+        for (auto& idx : indexes_) e = idx->advance_epoch();
+        return e;
+    }
+
+    /// Aggregated epoch-retention stats over every index of this relation.
+    auto snap_stats() const
+        requires(snapshot_capable)
+    {
+        decltype(indexes_[0]->snap_stats()) total{};
+        for (const auto& idx : indexes_) {
+            const auto s = idx->snap_stats();
+            total.epoch = std::max(total.epoch, s.epoch);
+            total.advances += s.advances;
+            total.pins += s.pins;
+            total.cow_images += s.cow_images;
+            total.retained_bytes += s.retained_bytes;
+        }
+        return total;
     }
 
     /// Aggregated counters from all retired LocalViews.

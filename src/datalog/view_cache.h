@@ -23,6 +23,14 @@
 //               engine calls invalidate_scratch() before each rotation and
 //               before the scratch relations are destroyed.
 //
+// The FULL-tier lifetime guarantee (relations never cleared or swapped
+// during a run) is also what snapshot readers lean on: a
+// Relation::snapshot() pinned mid-evaluation (DESIGN.md §11) stays valid
+// across delta rotations precisely because FULL storages are merged into in
+// place. Snapshot readers are OUTSIDE the worker pool and must not touch
+// this cache — they carry no hints and need none; Relation::snapshot() is
+// their whole interface.
+//
 // Thread contract, mirroring the phase discipline: worker w touches only
 // slot w, and only inside a parallel region; the engine thread (worker 0)
 // may also use slot 0 and call the maintenance functions between regions.

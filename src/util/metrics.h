@@ -85,6 +85,11 @@ enum class Counter : unsigned {
     sched_steal_failures,  ///< steal probes that found the victim empty
     sched_idle_ns,         ///< time workers spent parked or waiting at a region end
     sched_threads_spawned, ///< pool threads ever created (flat after startup)
+    // core/btree.h snapshot layer (DESIGN.md §11)
+    epoch_advances,      ///< advance_epoch() calls (delta rotations, mostly)
+    snapshot_pins,       ///< Snapshot handles pinned
+    snapshot_cow_images, ///< copy-on-write node images retained
+    snapshot_cow_bytes,  ///< bytes served out of the retain arena
     count
 };
 
@@ -127,6 +132,10 @@ inline const char* counter_name(Counter c) {
         case Counter::sched_steal_failures: return "sched_steal_failures";
         case Counter::sched_idle_ns: return "sched_idle_ns";
         case Counter::sched_threads_spawned: return "sched_threads_spawned";
+        case Counter::epoch_advances: return "epoch_advances";
+        case Counter::snapshot_pins: return "snapshot_pins";
+        case Counter::snapshot_cow_images: return "snapshot_cow_images";
+        case Counter::snapshot_cow_bytes: return "snapshot_cow_bytes";
         default: return "?";
     }
 }

@@ -19,11 +19,24 @@
 // runtime::set_default_grain.
 
 #include <cstddef>
+#include <cstdlib>
 #include <utility>
 
 #include "runtime/scheduler.h"
 
 namespace dtree::util {
+
+/// Thread count for tests and torture harnesses: DATATREE_TEST_THREADS when
+/// set (clamped to >= 1), else `def`. Lets CI legs and developers on small
+/// machines scale every hard-coded thread team from one knob
+/// (EXPERIMENTS.md "Test thread counts").
+inline unsigned env_threads(unsigned def) {
+    if (const char* s = std::getenv("DATATREE_TEST_THREADS")) {
+        const long v = std::strtol(s, nullptr, 10);
+        if (v >= 1) return static_cast<unsigned>(v);
+    }
+    return def;
+}
 
 /// Contiguous [begin, end) block for thread t of T over n items.
 /// Remainder items are spread over the leading threads so block sizes differ

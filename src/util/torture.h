@@ -36,12 +36,15 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace dtree::util {
 
 struct TortureOptions {
-    unsigned threads = 4;
+    /// Writer team size. Defaults to DATATREE_TEST_THREADS when set (see
+    /// EXPERIMENTS.md "Test thread counts"), else 4.
+    unsigned threads = env_threads(4);
     std::size_t rounds = 3;
     std::size_t inserts_per_thread = 6000; ///< per write phase
     std::size_t reads_per_thread = 6000;   ///< per read phase
@@ -313,6 +316,169 @@ TortureResult torture_run(Tree& tree, const TortureOptions& opt) {
                            : "; sequential replay of the op logs ALSO diverges "
                              "— deterministic bug";
     }
+    return res;
+}
+
+// -- reader-during-writes variant (DESIGN.md §11) ----------------------------
+
+struct TortureSnapshotResult : TortureResult {
+    std::uint64_t pins = 0;     ///< snapshots pinned by reader threads
+    std::uint64_t advances = 0; ///< epoch advances by the ticker thread
+};
+
+/// Snapshot torture: the write phase of torture_run, but with a live reader
+/// side. Per round, a snapshot is pinned at a quiescent boundary and HELD
+/// while writer threads insert, an epoch-ticker thread advances the epoch,
+/// and reader threads continuously pin fresh snapshots — all under whatever
+/// failpoint injection the caller armed (validate_fail stresses the reader's
+/// lease-retry loop, split_delay widens the CoW windows readers race with).
+///
+/// Checks, all against the mutex-guarded oracle:
+///   readers   every fresh pin must iterate strictly sorted, replay
+///             byte-identically, and be a superset of the round's pinned
+///             oracle (epochs are monotonic; keys only grow);
+///   barrier   every snapshot held so far — including ones pinned rounds ago
+///             and carried across many epoch advances — must still equal its
+///             own pin-time oracle exactly; tree invariants + live equality
+///             as in torture_run.
+template <typename Tree>
+TortureSnapshotResult torture_snapshot_run(Tree& tree,
+                                           const TortureOptions& opt) {
+    static_assert(Tree::with_snapshots,
+                  "torture_snapshot_run needs a WithSnapshots tree");
+    using Key = typename Tree::key_type;
+
+    TortureSnapshotResult res;
+    std::set<Key> oracle;
+    std::mutex oracle_mu;
+
+    std::mutex failure_mu;
+    std::atomic<bool> failed{false};
+    auto record_failure = [&](const std::string& what) {
+        bool expected = false;
+        if (!failed.compare_exchange_strong(expected, true)) return;
+        std::lock_guard<std::mutex> g(failure_mu);
+        res.ok = false;
+        res.failure = what + " (seed " + std::to_string(opt.seed) +
+                      ", threads " + std::to_string(opt.threads) + ")";
+    };
+
+    auto drain = [](const typename Tree::Snapshot& s) {
+        std::vector<Key> out;
+        s.for_each([&](const Key& k) { out.push_back(k); });
+        return out;
+    };
+
+    // Snapshots pinned at each round's start, with their pin-time oracles;
+    // every one is re-verified at every later barrier.
+    std::vector<std::pair<typename Tree::Snapshot, std::vector<Key>>> held;
+
+    std::atomic<std::uint64_t> inserts{0}, pins{0}, advances{0}, reads{0};
+    const unsigned readers = opt.threads / 2 ? opt.threads / 2 : 1;
+
+    for (std::size_t round = 0; round < opt.rounds && !failed.load(); ++round) {
+        // Quiescent pin: the boundary sees exactly the rounds before this one.
+        tree.advance_epoch();
+        advances.fetch_add(1, std::memory_order_relaxed);
+        held.emplace_back(tree.snapshot(),
+                          std::vector<Key>(oracle.begin(), oracle.end()));
+        pins.fetch_add(1, std::memory_order_relaxed);
+        const std::vector<Key>& round_oracle = held.back().second;
+
+        std::atomic<bool> phase_done{false};
+        std::thread ticker([&] {
+            while (!phase_done.load(std::memory_order_acquire)) {
+                tree.advance_epoch();
+                advances.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::yield();
+            }
+        });
+        std::vector<std::thread> reader_team;
+        for (unsigned r = 0; r < readers; ++r) {
+            reader_team.emplace_back([&, r] {
+                fail::set_thread_ordinal(opt.threads + 1 + r);
+                while (!phase_done.load(std::memory_order_acquire) &&
+                       !failed.load(std::memory_order_relaxed)) {
+                    const auto fresh = tree.snapshot();
+                    pins.fetch_add(1, std::memory_order_relaxed);
+                    const auto a = drain(fresh);
+                    for (std::size_t i = 1; i < a.size(); ++i) {
+                        if (!(a[i - 1] < a[i])) {
+                            record_failure(
+                                "fresh snapshot not strictly sorted at index " +
+                                std::to_string(i) + ", round " +
+                                std::to_string(round));
+                            return;
+                        }
+                    }
+                    if (drain(fresh) != a) {
+                        record_failure("fresh snapshot replay differs, round " +
+                                       std::to_string(round));
+                        return;
+                    }
+                    if (!std::includes(a.begin(), a.end(), round_oracle.begin(),
+                                       round_oracle.end())) {
+                        record_failure(
+                            "fresh snapshot lost keys of an older epoch, round " +
+                            std::to_string(round));
+                        return;
+                    }
+                    reads.fetch_add(a.size(), std::memory_order_relaxed);
+                }
+            });
+        }
+
+        // -- write phase (same mix as torture_run's static variant) ---------
+        run_threads(opt.threads, [&](unsigned tid) {
+            fail::set_thread_ordinal(tid);
+            Rng rng(opt.seed * 1000003 + round * 8191 + tid * 131);
+            auto hints = tree.create_hints();
+            for (std::size_t i = 0; i < opt.inserts_per_thread; ++i) {
+                if (failed.load(std::memory_order_relaxed)) break;
+                const std::uint64_t k =
+                    uniform_int<std::uint64_t>(rng, 0, opt.key_space - 1);
+                tree.insert(static_cast<Key>(k), hints);
+                {
+                    std::lock_guard<std::mutex> g(oracle_mu);
+                    oracle.insert(static_cast<Key>(k));
+                }
+            }
+            inserts.fetch_add(opt.inserts_per_thread,
+                              std::memory_order_relaxed);
+        });
+        phase_done.store(true, std::memory_order_release);
+        ticker.join();
+        for (auto& t : reader_team) t.join();
+        if (failed.load()) break;
+
+        // -- barrier: every held snapshot still equals its pin-time oracle --
+        if (auto err = tree.check_invariants(); !err.empty()) {
+            record_failure("invariant violation after write phase: " + err);
+            break;
+        }
+        for (std::size_t h = 0; h < held.size(); ++h) {
+            if (drain(held[h].first) != held[h].second) {
+                record_failure("held snapshot of round " + std::to_string(h) +
+                               " diverged from its pin-time oracle at round " +
+                               std::to_string(round));
+                break;
+            }
+        }
+        if (failed.load()) break;
+        if (tree.size() != oracle.size() ||
+            !std::equal(tree.begin(), tree.end(), oracle.begin(),
+                        oracle.end())) {
+            record_failure("live tree diverges from oracle after write phase, "
+                           "round " + std::to_string(round));
+            break;
+        }
+    }
+
+    res.inserts = inserts.load();
+    res.new_keys = oracle.size();
+    res.reads = reads.load();
+    res.pins = pins.load();
+    res.advances = advances.load();
     return res;
 }
 

@@ -8,6 +8,7 @@
 #include "datalog/program.h"
 #include "datalog/workloads.h"
 #include "runtime/scheduler.h"
+#include "util/parallel.h"
 
 #include <gtest/gtest.h>
 
@@ -40,7 +41,12 @@ void check_workload(const Workload& w) {
     // Small grain: even small workloads produce many chunks, so the T>1 runs
     // genuinely exercise chunked execution and stealing.
     const Snapshot ref = run_workload(w, 1, SchedMode::Steal, 16);
-    for (const unsigned threads : {4u, 8u}) {
+    // Team sizes scale with DATATREE_TEST_THREADS (default 8; see
+    // EXPERIMENTS.md "Test thread counts"): a half-size team plus the full
+    // team, so both under- and fully-subscribed schedules are compared.
+    const unsigned full = dtree::util::env_threads(8);
+    const unsigned half = full / 2 ? full / 2 : 1;
+    for (const unsigned threads : {half, full}) {
         for (const SchedMode mode : {SchedMode::Steal, SchedMode::Blocks}) {
             const Snapshot got = run_workload(w, threads, mode, 16);
             ASSERT_EQ(got.size(), ref.size()) << w.name;

@@ -39,7 +39,8 @@ public:
 
     static TortureOptions options(std::uint64_t seed) {
         TortureOptions opt;
-        opt.threads = 4;
+        // Scalable via DATATREE_TEST_THREADS (EXPERIMENTS.md).
+        opt.threads = dtree::util::env_threads(4);
         opt.rounds = 2;
         opt.inserts_per_thread = 4000;
         opt.reads_per_thread = 4000;
@@ -369,6 +370,43 @@ TEST_F(TortureTest, InjectedSeedSweepBlock3) {
         ASSERT_TRUE(res.ok) << res.failure;
     }
 }
+
+// -- snapshot torture: readers during writes (DESIGN.md §11) ------------------
+// torture_snapshot_run holds a snapshot pinned at each round's quiescent
+// boundary while writers insert, an epoch ticker advances, and reader
+// threads continuously pin/drain fresh snapshots. Injection matters here:
+// validate_fail forces the snapshot reader's lease-retry loop and
+// split_delay stretches the windows in which a reader races a CoW capture.
+
+template <unsigned B>
+using SnapTree = dtree::snapshot_btree_set<
+    std::uint64_t, dtree::ThreeWayComparator<std::uint64_t>, B>;
+
+template <unsigned B>
+void run_snapshot_torture(std::uint64_t seed, bool inject) {
+    if (inject) TortureTest::arm_failpoints(seed);
+    auto opt = TortureTest::options(seed);
+    SnapTree<B> tree;
+    const auto res = dtree::util::torture_snapshot_run(tree, opt);
+    ASSERT_TRUE(res.ok) << res.failure;
+    EXPECT_GT(res.new_keys, 0u);
+    EXPECT_GT(res.pins, opt.rounds) << "reader threads never pinned";
+    EXPECT_GT(res.advances, opt.rounds) << "the epoch ticker never ticked";
+    if (inject) {
+        EXPECT_GT(fail::fires(fail::Site::validate_fail), 0u)
+            << "snapshot reads never hit a failed lease validation";
+        EXPECT_GT(fail::fires(fail::Site::split_delay), 0u);
+    }
+    const auto st = tree.snap_stats();
+    EXPECT_GT(st.cow_images, 0u) << "no CoW image was ever retained";
+    EXPECT_GT(st.retained_bytes, 0u);
+}
+
+TEST_F(TortureTest, SnapshotCleanBlock3) { run_snapshot_torture<3>(1001, false); }
+TEST_F(TortureTest, SnapshotCleanBlock11) { run_snapshot_torture<11>(1002, false); }
+TEST_F(TortureTest, SnapshotInjectedBlock3) { run_snapshot_torture<3>(1101, true); }
+TEST_F(TortureTest, SnapshotInjectedBlock4) { run_snapshot_torture<4>(1102, true); }
+TEST_F(TortureTest, SnapshotInjectedBlock5) { run_snapshot_torture<5>(1103, true); }
 
 // -- harness sensitivity: a broken tree MUST be caught ----------------------
 
