@@ -18,6 +18,12 @@
 // range queries WHILE evaluation runs, cross-checking each snapshot for
 // internal consistency (sorted, repeatable, membership-closed); snapshot
 // and epoch-retention statistics then show up in --stats / --profile JSON.
+// --serve[=FILE] turns the runner into a long-running service (DESIGN.md
+// §12): after the initial fixpoint, a command stream (stdin, or a script
+// FILE) buffers new facts and group-commits them through Engine::ingest() /
+// refixpoint(); per-commit latency lands in a p50/p99/p999 histogram
+// reported by --stats and --profile JSON. Combined with --serve-probe, the
+// reader threads keep pinning snapshots while batches commit.
 //
 // Try it on the bundled example:
 //   ./build/examples/soufflette examples/programs/reachability.dl
@@ -28,6 +34,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -36,6 +45,7 @@
 #include "datalog/program.h"
 #include "runtime/scheduler.h"
 #include "util/cli.h"
+#include "util/histogram.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -63,7 +73,11 @@ template <typename EngineT>
 void probe_loop(const EngineT& engine, const std::vector<std::string>& rels,
                 const std::atomic<bool>& stop, unsigned tid, ProbeTally& tally) {
     const std::uint64_t salt = 0x9e3779b97f4a7c15ull * (tid + 1);
-    do {
+    for (bool final_sweep = false;;) {
+        // Latch stop BEFORE the sweep: the sweep that observes it still runs
+        // in full, so the end-of-run epoch publish is always probed. (The
+        // old do/while broke out the moment stop was seen, skipping it.)
+        if (stop.load(std::memory_order_acquire)) final_sweep = true;
         for (const auto& name : rels) {
             const auto& rel = engine.relation(name);
             const auto snap = rel.snapshot();
@@ -104,8 +118,118 @@ void probe_loop(const EngineT& engine, const std::vector<std::string>& rels,
             }
             if (!ok) tally.consistent = false;
         }
-        // One final sweep after stop: covers the end-of-run epoch publish.
-    } while (!stop.load(std::memory_order_acquire));
+        if (final_sweep) break;
+    }
+}
+
+/// Serve-loop tallies: per-commit latency plus totals, reported by --stats
+/// and the --profile JSON "ingest" section.
+struct ServeStats {
+    dtree::util::Histogram latency; ///< ns per commit (ingest + refixpoint)
+    unsigned long long commits = 0;
+    unsigned long long new_tuples = 0;
+    unsigned long long refixpoint_iterations = 0;
+};
+
+/// The --serve command stream, one command per line (stdin or a script
+/// file). Command errors report and continue — a service survives bad input.
+///
+///   fact REL v1 [v2 ...]   buffer one typed fact (symbol columns interned)
+///   load REL PATH          buffer a whole .facts file for REL
+///   commit                 group-commit buffered facts, then refixpoint
+///   count REL              print REL's current tuple count
+///   quit                   leave the loop (EOF also commits an open batch)
+template <typename EngineT>
+void serve_loop(EngineT& engine, const AnalyzedProgram& prog, std::istream& in,
+                unsigned jobs, ServeStats& st) {
+    std::map<std::string, std::vector<StorageTuple>> batch;
+    auto commit = [&] {
+        if (batch.empty()) {
+            std::printf("nothing to commit\n");
+            return;
+        }
+        dtree::util::Timer timer;
+        std::size_t fresh = 0;
+        for (auto& [rel, facts] : batch) fresh += engine.ingest(rel, facts);
+        const std::uint64_t iters = engine.refixpoint(jobs);
+        const std::uint64_t ns = timer.elapsed_ns();
+        batch.clear();
+        st.latency.record(ns);
+        ++st.commits;
+        st.new_tuples += fresh;
+        st.refixpoint_iterations += iters;
+        std::printf("committed %zu new tuple(s), %llu refixpoint iteration(s), "
+                    "%.3f ms\n",
+                    fresh, static_cast<unsigned long long>(iters),
+                    static_cast<double>(ns) / 1e6);
+    };
+    auto decl_of = [&](const std::string& cmd, const std::string& rel) -> const RelationDecl& {
+        auto it = prog.decl_index.find(rel);
+        if (it == prog.decl_index.end()) {
+            throw std::runtime_error(cmd + ": unknown relation: " + rel);
+        }
+        return prog.decls[it->second];
+    };
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        std::istringstream ss(line);
+        std::string cmd;
+        if (!(ss >> cmd) || cmd[0] == '#') continue;
+        try {
+            if (cmd == "fact") {
+                std::string rel;
+                if (!(ss >> rel)) throw std::runtime_error("fact: missing relation");
+                const auto& types = decl_of(cmd, rel).attribute_types;
+                StorageTuple t{};
+                std::string tok;
+                for (std::size_t c = 0; c < types.size(); ++c) {
+                    if (!(ss >> tok)) {
+                        throw std::runtime_error(
+                            "fact: expected " + std::to_string(types.size()) +
+                            " column(s) for " + rel);
+                    }
+                    if (types[c] == AttrType::Symbol) {
+                        t[c] = engine.symbols().intern(tok);
+                    } else if (!parse_value(tok, t[c])) {
+                        throw std::runtime_error("fact: bad number '" + tok +
+                                                 "' in column " + std::to_string(c + 1));
+                    }
+                }
+                if (ss >> tok) {
+                    throw std::runtime_error(
+                        "fact: trailing characters after column " +
+                        std::to_string(types.size()));
+                }
+                batch[rel].push_back(t);
+            } else if (cmd == "load") {
+                std::string rel, path;
+                if (!(ss >> rel >> path)) {
+                    throw std::runtime_error("load: usage: load REL PATH");
+                }
+                const auto facts = read_fact_file(
+                    path, decl_of(cmd, rel).attribute_types, engine.symbols());
+                auto& b = batch[rel];
+                b.insert(b.end(), facts.begin(), facts.end());
+                std::printf("buffered %zu fact(s) for %s\n", facts.size(), rel.c_str());
+            } else if (cmd == "commit") {
+                commit();
+            } else if (cmd == "count") {
+                std::string rel;
+                if (!(ss >> rel)) throw std::runtime_error("count: missing relation");
+                decl_of(cmd, rel);
+                std::printf("%s: %zu tuple(s)\n", rel.c_str(),
+                            engine.relation(rel).size());
+            } else if (cmd == "quit") {
+                break;
+            } else {
+                throw std::runtime_error("unknown command: " + cmd);
+            }
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "serve: %s\n", e.what());
+        }
+    }
+    if (!batch.empty()) commit(); // EOF flushes an open batch
 }
 
 template <typename EngineT>
@@ -157,10 +281,30 @@ int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
     dtree::util::Timer timer;
     engine.run(jobs);
     const double runtime_s = timer.elapsed_s();
+    std::printf("evaluation finished in %.3f s on %u job(s)\n", runtime_s, jobs);
+
+    // --serve: the command loop runs AFTER the initial fixpoint; serve-probe
+    // readers (if any) keep pinning snapshots while batches commit.
+    ServeStats serve;
+    if (cli.has("serve")) {
+        const std::string src = cli.get_str("serve", "1");
+        std::ifstream script;
+        std::istream* in = &std::cin;
+        if (src != "1") {
+            script.open(src);
+            if (!script) {
+                std::fprintf(stderr, "cannot open serve script %s\n", src.c_str());
+                probe_stop.store(true, std::memory_order_release);
+                for (auto& th : probes) th.join();
+                return 1;
+            }
+            in = &script;
+        }
+        serve_loop(engine, prog, *in, jobs, serve);
+    }
 
     probe_stop.store(true, std::memory_order_release);
     for (auto& th : probes) th.join();
-    std::printf("evaluation finished in %.3f s on %u job(s)\n", runtime_s, jobs);
 
     bool probes_consistent = true;
     if (!probes.empty()) {
@@ -218,6 +362,16 @@ int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
             w.kv("runtime_seconds", runtime_s);
             w.key("stats");
             engine.stats().write_json(w);
+            if (serve.commits) {
+                w.key("ingest");
+                w.begin_object();
+                w.kv("commits", serve.commits);
+                w.kv("new_tuples", serve.new_tuples);
+                w.kv("refixpoint_iterations", serve.refixpoint_iterations);
+                w.key("latency");
+                serve.latency.write_json(w);
+                w.end_object();
+            }
             w.key("profile");
             w.begin_array();
             for (const auto& p : engine.profile()) p.write_json(w);
@@ -252,6 +406,16 @@ int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
                     static_cast<unsigned long long>(s.input_tuples),
                     static_cast<unsigned long long>(s.produced_tuples));
         std::printf("hint hit rate: %.1f%%\n", 100.0 * s.hints.hit_rate());
+        if (serve.commits) {
+            std::printf("serve: %llu commit(s), %llu new tuple(s), "
+                        "%llu refixpoint iteration(s), latency p50 %.1f us / "
+                        "p99 %.1f us / p999 %.1f us\n",
+                        serve.commits, serve.new_tuples,
+                        serve.refixpoint_iterations,
+                        static_cast<double>(serve.latency.p50()) / 1e3,
+                        static_cast<double>(serve.latency.p99()) / 1e3,
+                        static_cast<double>(serve.latency.p999()) / 1e3);
+        }
         if (s.epoch) {
             std::printf("snapshots: epoch %llu, %llu advances, %llu pins, "
                         "%llu cow images, %llu retained bytes\n",
@@ -282,7 +446,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: %s <program.dl> [--facts=DIR] [--output=DIR] "
                      "[--jobs=N] [--sched=blocks|steal] [--grain=N] "
-                     "[--serve-probe[=N]] [--stats] [--profile[=FILE]]\n",
+                     "[--serve[=FILE]] [--serve-probe[=N]] [--stats] "
+                     "[--profile[=FILE]]\n",
                      argv[0]);
         return 2;
     }

@@ -24,7 +24,11 @@
 # record (reader x writer sweep, BENCH_snapshot.json) must show nonzero
 # snapshot_pins / epoch_advances / retained CoW images, while the fig4 record
 # doubles as the snapshot-OFF leg: its epoch/snapshot counters must all be
-# zero, proving the default trees never paid for the epoch layer.
+# zero, proving the default trees never paid for the epoch layer. The serve
+# record (BENCH_serve.json) must show nonzero ingest-batch / refixpoint
+# counters and per-workload equal + probe_consistent flags: the incremental
+# commits really re-entered the delta-driven fixpoint and matched the
+# one-shot oracle while probe readers were live.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,7 +49,7 @@ echo "== configuring $BUILD (DATATREE_METRICS=ON, mode: $MODE) =="
 cmake -B "$BUILD" -S . -DDATATREE_METRICS=ON >/dev/null
 cmake --build "$BUILD" -j"$JOBS" \
   --target fig3_sequential fig4_parallel_insert table2_stats fig5_datalog \
-           ablation_search snapshot_reads
+           ablation_search snapshot_reads serve_ingest
 
 case "$MODE" in
   smoke)
@@ -58,6 +62,7 @@ case "$MODE" in
     FIG5_ARGS=(--scale=300 --threads=1,2)
     ABLATION_ARGS=(--n=100000)
     SNAPSHOT_ARGS=(--smoke)
+    SERVE_ARGS=(--smoke)
     ;;
   quick)
     FIG3_ARGS=()
@@ -66,6 +71,7 @@ case "$MODE" in
     FIG5_ARGS=(--scale=600 --threads=1,2,4)
     ABLATION_ARGS=()
     SNAPSHOT_ARGS=()
+    SERVE_ARGS=()
     ;;
   full)
     FIG3_ARGS=(--full)
@@ -74,6 +80,7 @@ case "$MODE" in
     FIG5_ARGS=(--full)
     ABLATION_ARGS=(--n=10000000)
     SNAPSHOT_ARGS=(--full)
+    SERVE_ARGS=(--full)
     ;;
 esac
 
@@ -96,6 +103,9 @@ run table2_stats        BENCH_table2.json "${TABLE2_ARGS[@]}"
 run fig5_datalog        BENCH_fig5.json   "${FIG5_ARGS[@]}"
 run ablation_search     BENCH_ablation_search.json "${ABLATION_ARGS[@]}"
 run snapshot_reads      BENCH_snapshot.json "${SNAPSHOT_ARGS[@]}"
+# serve_ingest exits nonzero itself if the incremental fixpoint diverges from
+# the one-shot oracle or a probe reader sees an inconsistent snapshot.
+run serve_ingest        BENCH_serve.json "${SERVE_ARGS[@]}"
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== validating emitted JSON =="
@@ -105,7 +115,8 @@ out = sys.argv[1]
 records = {}
 for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_fig4_simd.json",
              "BENCH_table2.json", "BENCH_fig5.json",
-             "BENCH_ablation_search.json", "BENCH_snapshot.json"):
+             "BENCH_ablation_search.json", "BENCH_snapshot.json",
+             "BENCH_serve.json"):
     with open(f"{out}/{name}") as f:
         records[name] = json.load(f)
     print(f"   {name}: parses ok")
@@ -181,6 +192,27 @@ for counter in ("snapshot_pins", "epoch_advances", "snapshot_cow_images",
     assert m.get(counter, 0) == 0, \
         f"fig4 (snapshot-off) counter {counter} is nonzero"
 print("   fig4 (snapshot-off) epoch/snapshot counters all zero")
+
+serve = records["BENCH_serve.json"]
+ms = serve["metrics"]
+# The serve sweep must have committed batches through the incremental path:
+# ingested tuples re-entering the delta-driven fixpoint (DESIGN.md §12).
+# Zeros mean every commit short-circuited or bypassed ingest()/refixpoint().
+for counter in ("datalog_ingest_batches", "datalog_ingest_tuples",
+                "datalog_refixpoint_iterations"):
+    assert ms.get(counter, 0) > 0, f"serve counter {counter} is zero"
+    print(f"   serve {counter} = {ms[counter]}")
+for rec in serve["serve"]:
+    w = rec["workload"]
+    assert rec["equal"], f"serve {w}: incremental != one-shot fixpoint"
+    assert rec["probe_consistent"], f"serve {w}: probe reader saw torn snapshot"
+    assert rec["commits"] > 0, f"serve {w}: no commits ran"
+    assert rec["latency"]["count"] == rec["commits"], \
+        f"serve {w}: latency histogram count != commits"
+    assert rec["probe_pins"] > 0, f"serve {w}: probe readers never pinned"
+    print(f"   serve {w}: equal ok, {rec['commits']} commits, "
+          f"p99 {rec['latency']['p99_us']:.1f} us, "
+          f"{rec['probe_pins']} probe pins")
 EOF
 else
   echo "== python3 not found: skipping JSON validation =="

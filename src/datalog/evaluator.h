@@ -27,6 +27,18 @@
 // discipline that lets reads run unsynchronised. DATATREE_SCHED=blocks|steal
 // (or set_scheduler_mode) picks the scheduler, --grain/set_grain the chunk
 // size; work that fits one grain runs inline on the caller.
+//
+// Incremental ingestion (DESIGN.md §12): after run(), ingest() buffers new
+// fact batches (filtered to genuinely-new tuples) and refixpoint() group-
+// commits them — packed-build each batch into a delta relation, bulk-merge
+// it into FULL, then re-run semi-naïve evaluation seeded ONLY from those
+// deltas: per stratum, one delta-variant per (rule, positive body atom with
+// a pending delta), then the ordinary DELTA/NEW rotation until quiescence,
+// with every NEW accumulated so downstream strata see upstream growth as
+// their own incoming delta. Ingestion into a relation whose positive
+// derivation closure is read under negation is rejected up front: the
+// storage is insert-only, so derivations invalidated by a growing negated
+// relation could never be retracted.
 
 #include <algorithm>
 #include <atomic>
@@ -60,6 +72,10 @@ struct EngineStats {
     std::uint64_t input_tuples = 0;
     std::uint64_t produced_tuples = 0;
     std::uint64_t iterations = 0; ///< total fixpoint iterations across strata
+    // Incremental ingestion (DESIGN.md §12); zero for batch-only runs.
+    std::uint64_t ingest_batches = 0;  ///< ingest() calls accepted
+    std::uint64_t ingest_tuples = 0;   ///< genuinely-new tuples buffered
+    std::uint64_t refixpoint_iterations = 0; ///< iterations run by refixpoint()
     // Epoch/snapshot layer (DESIGN.md §11); all-zero for non-snapshot storage.
     std::uint64_t epoch = 0;          ///< max tree epoch across relations
     std::uint64_t epoch_advances = 0; ///< delta rotations + the final publish
@@ -79,6 +95,9 @@ struct EngineStats {
         w.kv("input_tuples", input_tuples);
         w.kv("produced_tuples", produced_tuples);
         w.kv("fixpoint_iterations", iterations);
+        w.kv("ingest_batches", ingest_batches);
+        w.kv("ingest_tuples", ingest_tuples);
+        w.kv("refixpoint_iterations", refixpoint_iterations);
         w.key("snapshots");
         w.begin_object();
         w.kv("epoch", epoch);
@@ -213,6 +232,104 @@ public:
         views_.clear();
     }
 
+    // -- incremental ingestion (DESIGN.md §12) -------------------------------
+
+    /// Buffers a batch of new facts for `relation`. Tuples already in FULL or
+    /// already pending are dropped so the pending batch stays disjoint from
+    /// FULL — the precondition of the bulk-merge fastpath refixpoint() rides.
+    /// Returns the number of genuinely-new tuples buffered; they take effect
+    /// at the next refixpoint() (group commit). Throws for unknown relations
+    /// and for relations whose positive derivation closure is read under
+    /// negation (insert-only storage cannot retract, see ingest_safe()).
+    std::size_t ingest(const std::string& relation,
+                       const std::vector<StorageTuple>& facts) {
+        if (!prog_.decl_index.count(relation)) {
+            throw std::runtime_error("ingest: unknown relation: " + relation);
+        }
+        const std::size_t rel = prog_.relation_id(relation);
+        if (!ingest_safe(rel)) {
+            throw std::runtime_error(
+                "ingest: relation '" + relation +
+                "' (or one derived from it) is read under negation; "
+                "insert-only evaluation cannot retract derivations");
+        }
+        std::vector<StorageTuple> batch(facts);
+        std::sort(batch.begin(), batch.end());
+        batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+        auto& pending = pending_[rel];
+        std::vector<StorageTuple> fresh;
+        {
+            auto view = relations_[rel]->local_view(0);
+            for (const auto& t : batch) {
+                if (view.contains(t)) continue;
+                if (std::binary_search(pending.begin(), pending.end(), t)) continue;
+                fresh.push_back(t);
+            }
+        }
+        const std::size_t n = fresh.size();
+        if (n) {
+            const auto mid = static_cast<std::ptrdiff_t>(pending.size());
+            pending.insert(pending.end(), fresh.begin(), fresh.end());
+            std::inplace_merge(pending.begin(), pending.begin() + mid, pending.end());
+            input_tuples_ += n;
+        }
+        ++ingest_batches_;
+        ingest_tuples_ += n;
+        DTREE_METRIC_INC(datalog_ingest_batches);
+        DTREE_METRIC_ADD(datalog_ingest_tuples, n);
+        return n;
+    }
+
+    /// Group-commits everything ingest() buffered and re-runs semi-naïve
+    /// evaluation seeded only from those deltas: each batch becomes a packed
+    /// delta relation, is bulk-merged into FULL, and per stratum one delta-
+    /// variant per (rule, positive atom with a pending delta) seeds the NEW
+    /// set, after which the ordinary DELTA/NEW rotation converges the
+    /// recursive strata. Every NEW is folded into the incoming-delta map so
+    /// later strata see upstream growth incrementally. Returns the number of
+    /// fixpoint iterations this commit ran (0 = nothing pending). Snapshots
+    /// stay serveable throughout: every merge publishes an epoch boundary.
+    std::uint64_t refixpoint(unsigned threads) {
+        if (threads == 0) throw std::invalid_argument("threads must be >= 1");
+        bool has_pending = false;
+        for (const auto& [rel, batch] : pending_) {
+            if (!batch.empty()) has_pending = true;
+        }
+        if (!has_pending) return 0;
+        threads_ = threads;
+        runtime::Scheduler::instance().reserve(threads);
+        views_.reset(threads);
+        const std::uint64_t before = refixpoint_iterations_;
+
+        // Group commit: each pending batch becomes a packed scratch relation
+        // (the incoming delta) and is bulk-merged into FULL — disjointness
+        // holds because ingest() filtered against FULL and the engine is
+        // quiescent between commits.
+        std::map<std::size_t, std::unique_ptr<RelationT>> delta_in;
+        for (auto& [rel, batch] : pending_) {
+            if (batch.empty()) continue;
+            auto scratch = make_scratch(rel);
+            scratch->load_sorted_batch(batch);
+            merge_into_full(rel, *scratch);
+            if constexpr (RelationT::snapshot_capable) {
+                relations_[rel]->advance_epoch();
+            }
+            delta_in[rel] = std::move(scratch);
+        }
+        pending_.clear();
+
+        for (const Stratum& stratum : prog_.strata) {
+            refixpoint_stratum(stratum, delta_in);
+        }
+        if constexpr (RelationT::snapshot_capable) {
+            for (auto& rel : relations_) rel->advance_epoch();
+        }
+        // Scratch-tier views on the delta_in relations retire with the cache;
+        // delta_in itself dies at scope exit, after them.
+        views_.clear();
+        return refixpoint_iterations_ - before;
+    }
+
     const RelationT& relation(const std::string& name) const {
         return *relations_.at(prog_.relation_id(name));
     }
@@ -241,6 +358,9 @@ public:
         s.input_tuples = input_tuples_;
         s.produced_tuples = total >= input_tuples_ ? total - input_tuples_ : 0;
         s.iterations = iterations_;
+        s.ingest_batches = ingest_batches_;
+        s.ingest_tuples = ingest_tuples_;
+        s.refixpoint_iterations = refixpoint_iterations_;
         if constexpr (RelationT::snapshot_capable) {
             for (const auto& rel : relations_) {
                 const auto snap = rel->snap_stats();
@@ -317,10 +437,30 @@ private:
             }
         }
 
-        // Phase 3: fixpoint.
+        // Phases 3+4: the fixpoint loop (shared with refixpoint_stratum).
+        fixpoint_loop(stratum, delta, fresh, nullptr);
+        // The delta/fresh scratch relations die with this scope; no cached
+        // view may outlive them.
+        views_.invalidate_scratch();
+    }
+
+    /// The DELTA/NEW rotation loop: evaluate every recursive rule's delta
+    /// variants, merge NEW into FULL, rotate NEW -> DELTA, repeat until no
+    /// progress. When `accumulate` is non-null (refixpoint), every merged
+    /// NEW is also folded into that map so later strata observe this
+    /// stratum's growth as their own incoming delta, and iterations count
+    /// toward the refixpoint totals.
+    void fixpoint_loop(const Stratum& stratum,
+                       std::map<std::size_t, std::unique_ptr<RelationT>>& delta,
+                       std::map<std::size_t, std::unique_ptr<RelationT>>& fresh,
+                       std::map<std::size_t, std::unique_ptr<RelationT>>* accumulate) {
         for (;;) {
             ++iterations_;
             DTREE_METRIC_INC(datalog_fixpoint_iterations);
+            if (accumulate) {
+                ++refixpoint_iterations_;
+                DTREE_METRIC_INC(datalog_refixpoint_iterations);
+            }
             bool any_delta = false;
             for (std::size_t rel : stratum.relations) {
                 if (!delta[rel]->empty()) any_delta = true;
@@ -339,11 +479,10 @@ private:
                 }
             }
 
-            // Phase 4: merge NEW into FULL, rotate NEW -> DELTA. Cached
-            // views on the scratch relations must retire first: the rotation
-            // moves the backing storages between wrappers, stranding any
-            // live view (FULL-tier views survive — those relations never
-            // rotate).
+            // Merge NEW into FULL, rotate NEW -> DELTA. Cached views on the
+            // scratch relations must retire first: the rotation moves the
+            // backing storages between wrappers, stranding any live view
+            // (FULL-tier views survive — those relations never rotate).
             views_.invalidate_scratch();
             bool progress = false;
             for (std::size_t rel : stratum.relations) {
@@ -351,6 +490,7 @@ private:
                 if (!nw.empty()) {
                     progress = true;
                     merge_into_full(rel, nw);
+                    if (accumulate) accumulate_delta(*accumulate, rel, nw);
                 }
                 delta[rel]->clear();
                 delta[rel]->swap_contents(nw);
@@ -367,9 +507,132 @@ private:
             }
             if (!progress) break;
         }
-        // The delta/fresh scratch relations die with this scope; no cached
-        // view may outlive them.
+    }
+
+    /// Incremental re-evaluation of one stratum after a group commit:
+    /// `delta_in` maps relation -> tuples that entered FULL since the last
+    /// quiescent state (the merged ingest batches plus everything earlier
+    /// strata just derived). Runs a seed pass — one delta-variant per
+    /// (rule, positive body atom with a pending delta); FULL already holds
+    /// the batch, so variants with the delta at position k and FULL
+    /// elsewhere cover every new tuple combination — then converges the
+    /// recursive strata with the ordinary rotation loop.
+    void refixpoint_stratum(const Stratum& stratum,
+                            std::map<std::size_t, std::unique_ptr<RelationT>>& delta_in) {
+        // Skip strata no pending delta can reach: nothing new to derive.
+        bool touched = false;
+        for (std::size_t rule_idx : stratum.rules) {
+            if (prog_.program.rules[rule_idx].is_fact()) continue;
+            for (const CompiledAtom& atom : compiled_[rule_idx].body) {
+                if (!atom.negated && delta_in.count(atom.relation) &&
+                    !delta_in.at(atom.relation)->empty()) {
+                    touched = true;
+                    break;
+                }
+            }
+            if (touched) break;
+        }
+        if (!touched) return;
+
+        std::map<std::size_t, std::unique_ptr<RelationT>> delta, fresh;
+        for (std::size_t rel : stratum.relations) {
+            delta[rel] = make_scratch(rel);
+            fresh[rel] = make_scratch(rel);
+        }
+
+        // Seed pass (counts as one iteration): non-recursive rules included —
+        // their head tuples must reach NEW (not FULL directly) so the
+        // accumulated delta carries them to later strata.
+        ++iterations_;
+        ++refixpoint_iterations_;
+        DTREE_METRIC_INC(datalog_fixpoint_iterations);
+        DTREE_METRIC_INC(datalog_refixpoint_iterations);
+        for (std::size_t rule_idx : stratum.rules) {
+            if (prog_.program.rules[rule_idx].is_fact()) continue;
+            const CompiledRule& cr = compiled_[rule_idx];
+            for (std::size_t k = 0; k < cr.body.size(); ++k) {
+                const CompiledAtom& atom = cr.body[k];
+                if (atom.negated) continue;
+                if (!delta_in.count(atom.relation) ||
+                    delta_in.at(atom.relation)->empty()) {
+                    continue;
+                }
+                evaluate_rule(rule_idx, static_cast<int>(k), &delta_in, &fresh);
+            }
+        }
+
+        // Rotate the seeded NEW into DELTA (and into the accumulator for
+        // downstream strata), then converge recursion as usual.
         views_.invalidate_scratch();
+        bool progress = false;
+        for (std::size_t rel : stratum.relations) {
+            RelationT& nw = *fresh[rel];
+            if (!nw.empty()) {
+                progress = true;
+                merge_into_full(rel, nw);
+                accumulate_delta(delta_in, rel, nw);
+            }
+            delta[rel]->clear();
+            delta[rel]->swap_contents(nw);
+        }
+        if constexpr (RelationT::snapshot_capable) {
+            if (progress) {
+                for (std::size_t rel : stratum.relations) {
+                    relations_[rel]->advance_epoch();
+                }
+            }
+        }
+        if (stratum.recursive && progress) {
+            fixpoint_loop(stratum, delta, fresh, &delta_in);
+        }
+        views_.invalidate_scratch();
+    }
+
+    /// Folds a merged NEW set into the cross-stratum accumulator so later
+    /// strata see it as part of their incoming delta.
+    void accumulate_delta(std::map<std::size_t, std::unique_ptr<RelationT>>& delta_in,
+                          std::size_t rel, RelationT& nw) {
+        auto& acc = delta_in[rel];
+        if (!acc) acc = make_scratch(rel);
+        auto view = acc->local_view(0);
+        nw.for_each([&](const StorageTuple& t) { view.insert(t); });
+    }
+
+    /// Whether growing `rel` preserves correctness under insert-only
+    /// storage: the closure of `rel` under positive body->head rule edges
+    /// must not intersect the relations read under negation — growth there
+    /// would invalidate already-materialised derivations that can never be
+    /// retracted. Stratification puts negated relations in strictly earlier
+    /// strata, so refixpoint never re-reads a negation whose operand grew.
+    bool ingest_safe(std::size_t rel) const {
+        std::vector<char> negated(relations_.size(), 0);
+        std::vector<std::vector<std::size_t>> heads(relations_.size());
+        for (std::size_t i = 0; i < compiled_.size(); ++i) {
+            if (prog_.program.rules[i].is_fact()) continue;
+            const CompiledRule& cr = compiled_[i];
+            for (const CompiledAtom& atom : cr.body) {
+                if (atom.negated) {
+                    negated[atom.relation] = 1;
+                } else {
+                    heads[atom.relation].push_back(cr.head.relation);
+                }
+            }
+        }
+        std::vector<char> seen(relations_.size(), 0);
+        std::vector<std::size_t> stack{rel};
+        seen[rel] = 1;
+        while (!stack.empty()) {
+            const std::size_t r = stack.back();
+            stack.pop_back();
+            if (negated[r]) return false;
+            for (std::size_t h : heads[r]) {
+                if (!seen[h]) {
+                    seen[h] = 1;
+                    stack.push_back(h);
+                }
+            }
+        }
+        return true;
     }
 
     std::unique_ptr<RelationT> make_scratch(std::size_t rel) const {
@@ -692,6 +955,12 @@ private:
     std::size_t grain_ = runtime::default_grain();
     std::uint64_t input_tuples_ = 0;
     std::uint64_t iterations_ = 0;
+    // Incremental ingestion state: pending batches (sorted, deduplicated,
+    // disjoint from FULL) awaiting the next refixpoint() group commit.
+    std::map<std::size_t, std::vector<StorageTuple>> pending_;
+    std::uint64_t ingest_batches_ = 0;
+    std::uint64_t ingest_tuples_ = 0;
+    std::uint64_t refixpoint_iterations_ = 0;
 };
 
 } // namespace dtree::datalog

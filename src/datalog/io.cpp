@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <string_view>
@@ -16,6 +17,19 @@ namespace {
 }
 
 } // namespace
+
+bool parse_value(std::string_view text, Value& out) {
+    if (text.empty()) return false;
+    Value v = 0;
+    for (char c : text) {
+        if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+        const Value d = static_cast<Value>(c - '0');
+        if (v > (std::numeric_limits<Value>::max() - d) / 10) return false;
+        v = v * 10 + d;
+    }
+    out = v;
+    return true;
+}
 
 std::vector<StorageTuple> read_fact_file(const std::string& path, unsigned arity) {
     std::ifstream in(path);
@@ -32,13 +46,15 @@ std::vector<StorageTuple> read_fact_file(const std::string& path, unsigned arity
         std::size_t pos = 0;
         for (unsigned c = 0; c < arity; ++c) {
             while (pos < line.size() && (line[pos] == ' ')) ++pos;
-            if (pos >= line.size() || !std::isdigit(static_cast<unsigned char>(line[pos]))) {
-                fail(path, lineno, "expected unsigned integer in column " + std::to_string(c + 1));
+            const std::size_t start = pos;
+            while (pos < line.size() && std::isdigit(static_cast<unsigned char>(line[pos]))) {
+                ++pos;
             }
             Value v = 0;
-            while (pos < line.size() && std::isdigit(static_cast<unsigned char>(line[pos]))) {
-                v = v * 10 + static_cast<Value>(line[pos] - '0');
-                ++pos;
+            if (!parse_value(std::string_view(line.data() + start, pos - start), v)) {
+                fail(path, lineno, pos == start
+                         ? "expected unsigned integer in column " + std::to_string(c + 1)
+                         : "number out of range in column " + std::to_string(c + 1));
             }
             t[c] = v;
             if (c + 1 < arity) {
@@ -78,17 +94,21 @@ std::vector<StorageTuple> read_fact_file(const std::string& path,
             if (c + 1 < arity && end == line.size()) {
                 fail(path, lineno, "expected separator after column " + std::to_string(c + 1));
             }
+            if (c + 1 == arity && end != line.size()) {
+                // The untyped overload rejects trailing characters; without
+                // this, extra columns past the declared arity were silently
+                // dropped — a corrupt (mis-declared) fact file looked valid.
+                fail(path, lineno, "trailing characters after column " + std::to_string(arity));
+            }
             if (types[c] == AttrType::Symbol) {
                 t[c] = symbols.intern(field);
             } else {
-                if (field.empty()) fail(path, lineno, "empty number column");
                 Value v = 0;
-                for (char d : field) {
-                    if (!std::isdigit(static_cast<unsigned char>(d))) {
-                        fail(path, lineno,
-                             "expected unsigned integer in column " + std::to_string(c + 1));
-                    }
-                    v = v * 10 + static_cast<Value>(d - '0');
+                if (!parse_value(field, v)) {
+                    fail(path, lineno, field.empty()
+                             ? "empty number column"
+                             : "expected unsigned integer in range in column " +
+                                   std::to_string(c + 1));
                 }
                 t[c] = v;
             }

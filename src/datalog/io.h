@@ -6,6 +6,7 @@
 // `<name>.csv` into an output directory.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "datalog/ast.h"
@@ -13,9 +14,16 @@
 
 namespace dtree::datalog {
 
+/// Strict decimal parse of one number column: returns false unless `text` is
+/// a non-empty all-digit string whose value fits in a Value (no silent 2^64
+/// wraparound). Shared by both fact readers and the serve-loop `fact`
+/// command so every ingestion path rejects corrupt numbers the same way.
+bool parse_value(std::string_view text, Value& out);
+
 /// Parses one fact file. Lines: arity tab-separated (or comma-separated)
 /// unsigned integers; blank lines and lines starting with '#' are skipped.
-/// Throws std::runtime_error with file/line context on malformed input.
+/// Throws std::runtime_error with file/line context on malformed input,
+/// including out-of-range numbers and extra columns past the arity.
 std::vector<StorageTuple> read_fact_file(const std::string& path, unsigned arity);
 
 /// Typed variant: number columns parse as unsigned integers, symbol columns

@@ -144,6 +144,31 @@ public:
         for (auto& idx : indexes_) idx->clear();
     }
 
+    /// Packed load of an ingest batch into an EMPTY relation: `sorted` must
+    /// be sorted and deduplicated in source column order (= the primary
+    /// index's order). The primary gets a direct packed build; each
+    /// secondary permutes the batch, re-sorts, and packed-builds, so a
+    /// group-committed serve batch becomes a delta relation in O(n log n)
+    /// without touching the point-insert path. Falls back to sequential
+    /// inserts for storages without the bulk surface.
+    void load_sorted_batch(const std::vector<StorageTuple>& sorted) {
+        if constexpr (bulk_mergeable) {
+            indexes_[0]->build_sorted(sorted.begin(), sorted.end(), sorted.size());
+            std::vector<StorageTuple> scratch;
+            for (unsigned i = 1; i < indexes_.size(); ++i) {
+                scratch.resize(sorted.size());
+                for (std::size_t j = 0; j < sorted.size(); ++j) {
+                    scratch[j] = permute(sorted[j], i);
+                }
+                std::sort(scratch.begin(), scratch.end());
+                indexes_[i]->build_sorted(scratch.begin(), scratch.end(),
+                                          scratch.size());
+            }
+        } else {
+            for (const auto& t : sorted) insert(t);
+        }
+    }
+
     // -- snapshot reads (DESIGN.md §11) --------------------------------------
 
     /// Does the storage expose the epoch/snapshot surface? True for the

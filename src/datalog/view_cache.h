@@ -21,7 +21,17 @@
 //               fixpoint iteration (clear + swap_contents moves the backing
 //               storages between wrappers, stranding any live view), so the
 //               engine calls invalidate_scratch() before each rotation and
-//               before the scratch relations are destroyed.
+//               before the scratch relations are destroyed. The incoming-
+//               delta relations of a refixpoint() commit (DESIGN.md §12) are
+//               scratch-tier too: they outlive individual rotations but die
+//               at the end of the commit, after the engine clears the cache.
+//
+// Lifecycle across engine entry points: run() and refixpoint() each begin
+// with reset(team) — worker ids are only stable within one scheduler
+// reservation — and end with clear(), so no view survives from one commit
+// into the next. Hints therefore stay warm across every rule evaluation and
+// fixpoint iteration WITHIN a commit, which is where the reuse lives; a
+// serve loop issuing many commits re-warms per commit.
 //
 // The FULL-tier lifetime guarantee (relations never cleared or swapped
 // during a run) is also what snapshot readers lean on: a

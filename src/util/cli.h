@@ -2,12 +2,17 @@
 
 // Tiny flag parser shared by the figure-reproduction benches. Supports
 // --name=value and boolean --name forms; anything unrecognised is reported
-// and ignored so harness scripts stay robust.
+// and ignored so harness scripts stay robust. Numeric accessors are STRICT:
+// `--jobs=abc` or an out-of-range value throws std::runtime_error naming the
+// flag instead of silently parsing as 0 / wrapping (strtoull's behaviour) —
+// a long-running serve process must not start with a misread configuration.
 
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,7 +48,7 @@ public:
     std::uint64_t get_u64(const std::string& name, std::uint64_t def) const {
         auto it = flags_.find(name);
         if (it == flags_.end()) return def;
-        return std::strtoull(it->second.c_str(), nullptr, 10);
+        return parse_u64(name, it->second);
     }
 
     double get_double(const std::string& name, double def) const {
@@ -73,11 +78,36 @@ public:
         while (pos < s.size()) {
             auto comma = s.find(',', pos);
             if (comma == std::string::npos) comma = s.size();
-            out.push_back(static_cast<unsigned>(
-                std::strtoul(s.substr(pos, comma - pos).c_str(), nullptr, 10)));
+            const std::uint64_t v = parse_u64(name, s.substr(pos, comma - pos));
+            if (v > std::numeric_limits<unsigned>::max()) {
+                throw std::runtime_error("--" + name + ": element " +
+                                         std::to_string(v) + " out of range");
+            }
+            out.push_back(static_cast<unsigned>(v));
             pos = comma + 1;
         }
         return out;
+    }
+
+    /// Strict decimal parse: every character a digit, no 64-bit wraparound.
+    static std::uint64_t parse_u64(const std::string& name, const std::string& text) {
+        if (text.empty()) {
+            throw std::runtime_error("--" + name + ": expected unsigned integer, got \"\"");
+        }
+        std::uint64_t v = 0;
+        for (char c : text) {
+            if (c < '0' || c > '9') {
+                throw std::runtime_error("--" + name +
+                                         ": expected unsigned integer, got \"" + text + "\"");
+            }
+            const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+            if (v > (std::numeric_limits<std::uint64_t>::max() - d) / 10) {
+                throw std::runtime_error("--" + name + "=" + text +
+                                         " does not fit in 64 bits");
+            }
+            v = v * 10 + d;
+        }
+        return v;
     }
 
 private:

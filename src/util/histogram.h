@@ -1,0 +1,127 @@
+#pragma once
+
+// Fixed-footprint log-linear latency histogram for the serve-loop tail-
+// latency axis (ROADMAP item 2): per-request latencies are recorded in
+// nanoseconds and reported as p50/p99/p999 next to throughput numbers in
+// BENCH_serve.json and `soufflette --serve` --stats/--profile output.
+//
+// Bucketing is HdrHistogram-style log-linear: values below 2^kSubBits land
+// in exact unit buckets; above that, each power-of-two range is split into
+// 2^kSubBits linear sub-buckets, bounding the relative quantile error at
+// 2^-kSubBits (= 1/16, ~6%) while the whole histogram stays one flat 8 KiB
+// array — no allocation on the record path, O(1) per sample.
+//
+// NOT thread-safe by design: the serve loop records from the single command
+// thread, and multi-threaded benches keep one Histogram per thread and
+// merge() afterwards (same pattern as the per-thread sample vectors in
+// bench/snapshot_reads).
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+#include "util/json.h"
+
+namespace dtree::util {
+
+class Histogram {
+public:
+    /// Records one sample (any unit; callers use nanoseconds by convention).
+    void record(std::uint64_t v) {
+        ++buckets_[index(v)];
+        ++count_;
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t min() const { return count_ ? min_ : 0; }
+    std::uint64_t max() const { return max_; }
+    double mean() const {
+        return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+    }
+
+    /// Upper bound of the bucket holding the q-th sample (q in [0, 1]); the
+    /// exact max for q >= 1. Relative error bounded by the sub-bucket width.
+    std::uint64_t quantile(double q) const {
+        if (count_ == 0) return 0;
+        if (q >= 1.0) return max_;
+        if (q < 0.0) q = 0.0;
+        // Rank of the target sample, 1-based: ceil(q * count), at least 1.
+        const std::uint64_t rank = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < kBuckets; ++i) {
+            cum += buckets_[i];
+            if (cum >= rank) return std::min(upper_bound(i), max_);
+        }
+        return max_;
+    }
+
+    std::uint64_t p50() const { return quantile(0.50); }
+    std::uint64_t p99() const { return quantile(0.99); }
+    std::uint64_t p999() const { return quantile(0.999); }
+
+    /// Folds another histogram in (per-thread recording, merged afterwards).
+    void merge(const Histogram& o) {
+        for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+        count_ += o.count_;
+        sum_ += o.sum_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
+    void reset() { *this = Histogram(); }
+
+    /// One flat object with the tail-latency axis; `scale` divides every
+    /// value on the way out (1e3 turns recorded ns into the *_us fields).
+    void write_json(json::Writer& w, double scale = 1e3) const {
+        const auto out = [&](std::uint64_t v) {
+            return static_cast<double>(v) / scale;
+        };
+        w.begin_object();
+        w.kv("count", count_);
+        w.kv("min_us", out(min()));
+        w.kv("mean_us", mean() / scale);
+        w.kv("p50_us", out(p50()));
+        w.kv("p90_us", out(quantile(0.90)));
+        w.kv("p99_us", out(p99()));
+        w.kv("p999_us", out(p999()));
+        w.kv("max_us", out(max_));
+        w.end_object();
+    }
+
+private:
+    static constexpr unsigned kSubBits = 4;
+    static constexpr std::uint64_t kSub = 1ull << kSubBits;
+    // Highest power-of-two range is 2^63..2^64: shift 63 - kSubBits.
+    static constexpr std::size_t kBuckets = (64 - kSubBits + 1) << kSubBits;
+
+    static std::size_t index(std::uint64_t v) {
+        if (v < kSub) return static_cast<std::size_t>(v);
+        const unsigned top = 63 - static_cast<unsigned>(std::countl_zero(v));
+        const unsigned shift = top - kSubBits;
+        return ((static_cast<std::size_t>(shift) + 1) << kSubBits) |
+               static_cast<std::size_t>((v >> shift) & (kSub - 1));
+    }
+
+    /// Largest value mapping into bucket i (inclusive upper bound).
+    static std::uint64_t upper_bound(std::size_t i) {
+        if (i < kSub) return i;
+        const unsigned shift = static_cast<unsigned>((i >> kSubBits) - 1);
+        const std::uint64_t sub = i & (kSub - 1);
+        const std::uint64_t base = (kSub | sub) << shift;
+        return base + ((1ull << shift) - 1);
+    }
+
+    std::uint64_t buckets_[kBuckets] = {};
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t max_ = 0;
+};
+
+} // namespace dtree::util

@@ -78,6 +78,9 @@ enum class Counter : unsigned {
     datalog_tuples_derived,      ///< genuinely new head tuples inserted
     datalog_merge_fastpath,      ///< empty-destination packed builds (per index)
                                  ///< in the merge / delta-rotation paths
+    datalog_ingest_batches,      ///< Engine::ingest() batches accepted
+    datalog_ingest_tuples,       ///< genuinely new tuples buffered by ingest()
+    datalog_refixpoint_iterations, ///< fixpoint iterations run by refixpoint()
     // runtime/scheduler.h
     sched_regions,         ///< parallel regions dispatched to the pool
     sched_tasks,           ///< chunks executed (any worker, any mode)
@@ -126,6 +129,9 @@ inline const char* counter_name(Counter c) {
         case Counter::datalog_fixpoint_iterations: return "datalog_fixpoint_iterations";
         case Counter::datalog_tuples_derived: return "datalog_tuples_derived";
         case Counter::datalog_merge_fastpath: return "datalog_merge_fastpath";
+        case Counter::datalog_ingest_batches: return "datalog_ingest_batches";
+        case Counter::datalog_ingest_tuples: return "datalog_ingest_tuples";
+        case Counter::datalog_refixpoint_iterations: return "datalog_refixpoint_iterations";
         case Counter::sched_regions: return "sched_regions";
         case Counter::sched_tasks: return "sched_tasks";
         case Counter::sched_steals: return "sched_steals";

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 namespace {
 
@@ -78,6 +79,59 @@ TEST_F(IoTest, ErrorsCarryFileAndLine) {
     } catch (const std::runtime_error& e) {
         EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos) << e.what();
     }
+}
+
+// Regression: the typed overload used to DROP extra columns past the
+// declared arity instead of rejecting them like the untyped one does.
+TEST_F(IoTest, TypedReaderRejectsExtraColumns) {
+    SymbolTable symbols;
+    const std::vector<AttrType> nn{AttrType::Number, AttrType::Number};
+    EXPECT_THROW(
+        read_fact_file(write("extra.facts", "1\t2\t3\n"), nn, symbols),
+        std::runtime_error);
+    // Symbol columns must reject extras too (the dropped text is data).
+    const std::vector<AttrType> ss{AttrType::Symbol, AttrType::Symbol};
+    EXPECT_THROW(
+        read_fact_file(write("extra_sym.facts", "a\tb\tc\n"), ss, symbols),
+        std::runtime_error);
+    // Exactly-arity lines still parse.
+    const auto ok = read_fact_file(write("ok.facts", "1\t2\n"), nn, symbols);
+    ASSERT_EQ(ok.size(), 1u);
+    EXPECT_EQ(ok[0][1], 2u);
+}
+
+// Regression: both readers accumulated v = v*10 + digit unchecked, so
+// numbers past 2^64 silently wrapped into valid-looking Values.
+TEST_F(IoTest, RejectsOverflowingNumbers) {
+    // 2^64 = 18446744073709551616: one past the largest Value.
+    const std::string big = "18446744073709551616";
+    EXPECT_THROW(read_fact_file(write("o1.facts", big + "\t1\n"), 2),
+                 std::runtime_error);
+    SymbolTable symbols;
+    const std::vector<AttrType> nn{AttrType::Number, AttrType::Number};
+    EXPECT_THROW(
+        read_fact_file(write("o2.facts", "1\t" + big + "\n"), nn, symbols),
+        std::runtime_error);
+    // The exact maximum still parses in both readers.
+    const std::string max = "18446744073709551615";
+    const auto u = read_fact_file(write("m1.facts", max + "\t1\n"), 2);
+    ASSERT_EQ(u.size(), 1u);
+    EXPECT_EQ(u[0][0], std::numeric_limits<Value>::max());
+    const auto t = read_fact_file(write("m2.facts", max + "\t1\n"), nn, symbols);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0][0], std::numeric_limits<Value>::max());
+}
+
+TEST_F(IoTest, ParseValueIsStrict) {
+    Value v = 0;
+    EXPECT_TRUE(parse_value("42", v));
+    EXPECT_EQ(v, 42u);
+    EXPECT_TRUE(parse_value("18446744073709551615", v));
+    EXPECT_EQ(v, std::numeric_limits<Value>::max());
+    EXPECT_FALSE(parse_value("", v));
+    EXPECT_FALSE(parse_value("12x", v));
+    EXPECT_FALSE(parse_value("-3", v));
+    EXPECT_FALSE(parse_value("18446744073709551616", v));
 }
 
 TEST_F(IoTest, WriteThenReadRoundTrips) {

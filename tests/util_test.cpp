@@ -2,6 +2,8 @@
 // spinlock, table printer, timers.
 
 #include "util/cli.h"
+#include "util/histogram.h"
+#include "util/json.h"
 #include "util/parallel.h"
 #include "util/random.h"
 #include "util/spinlock.h"
@@ -11,8 +13,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <limits>
 #include <numeric>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 namespace {
@@ -113,6 +118,31 @@ TEST(Cli, DefaultListWhenAbsent) {
     ASSERT_EQ(def.size(), 2u);
 }
 
+// Regression: numeric accessors used strtoull, so `--jobs=abc` silently
+// became 0 and values past 2^64 wrapped. They must reject instead.
+TEST(Cli, RejectsNonNumericValues) {
+    const char* argv[] = {"prog", "--jobs=abc", "--n=12x", "--neg=-3",
+                          "--empty=", "--threads=1,abc,4"};
+    Cli cli(6, const_cast<char**>(argv));
+    EXPECT_THROW(cli.get_u64("jobs", 0), std::runtime_error);
+    EXPECT_THROW(cli.get_u64("n", 0), std::runtime_error);
+    EXPECT_THROW(cli.get_u64("neg", 0), std::runtime_error);
+    EXPECT_THROW(cli.get_u64("empty", 0), std::runtime_error);
+    EXPECT_THROW(cli.get_list("threads", {}), std::runtime_error);
+}
+
+TEST(Cli, RejectsOverflowingValues) {
+    // 2^64 = 18446744073709551616: one past the largest u64.
+    const char* argv[] = {"prog", "--n=18446744073709551616",
+                          "--m=18446744073709551615",
+                          // List elements must additionally fit `unsigned`.
+                          "--threads=1,4294967296"};
+    Cli cli(4, const_cast<char**>(argv));
+    EXPECT_THROW(cli.get_u64("n", 0), std::runtime_error);
+    EXPECT_EQ(cli.get_u64("m", 0), std::numeric_limits<std::uint64_t>::max());
+    EXPECT_THROW(cli.get_list("threads", {}), std::runtime_error);
+}
+
 // -- RNG helpers ---------------------------------------------------------------
 
 TEST(Random, UniformIntWithinBounds) {
@@ -194,6 +224,83 @@ TEST(SeriesTableTest, PrintsAlignedRows) {
     EXPECT_NE(out.find("4.000"), std::string::npos);
     // alpha's row appears before beta's.
     EXPECT_LT(out.find("alpha"), out.find("beta"));
+}
+
+// -- Histogram ---------------------------------------------------------------------
+
+TEST(HistogramTest, EmptyIsAllZero) {
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p999(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+    // Values below 2^kSubBits (= 16) land in unit buckets: exact quantiles.
+    Histogram h;
+    for (std::uint64_t v = 1; v <= 10; ++v) h.record(v);
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_EQ(h.min(), 1u);
+    EXPECT_EQ(h.max(), 10u);
+    EXPECT_EQ(h.p50(), 5u);
+    EXPECT_EQ(h.quantile(1.0), 10u);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.5);
+}
+
+TEST(HistogramTest, QuantileErrorIsBounded) {
+    // Log-linear bucketing promises <= 1/16 relative error above the linear
+    // range. Check a uniform ramp at several magnitudes.
+    Histogram h;
+    const std::uint64_t n = 10000;
+    for (std::uint64_t i = 1; i <= n; ++i) h.record(i * 1000); // 1k .. 10M
+    for (double q : {0.10, 0.50, 0.90, 0.99, 0.999}) {
+        const double exact = q * static_cast<double>(n) * 1000.0;
+        const double got = static_cast<double>(h.quantile(q));
+        EXPECT_GE(got, exact * (1.0 - 1.0 / 16));
+        EXPECT_LE(got, exact * (1.0 + 1.0 / 8) + 1000.0) << "q=" << q;
+    }
+    // The tail quantile never exceeds the recorded max.
+    EXPECT_LE(h.p999(), h.max());
+}
+
+TEST(HistogramTest, MergeMatchesCombinedRecording) {
+    Histogram a, b, all;
+    for (std::uint64_t i = 1; i <= 500; ++i) {
+        a.record(i * 7);
+        all.record(i * 7);
+    }
+    for (std::uint64_t i = 1; i <= 300; ++i) {
+        b.record(i * 1931);
+        all.record(i * 1931);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+    EXPECT_EQ(a.p50(), all.p50());
+    EXPECT_EQ(a.p99(), all.p99());
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_EQ(a.p50(), 0u);
+}
+
+TEST(HistogramTest, WriteJsonEmitsTailFields) {
+    Histogram h;
+    for (std::uint64_t i = 1; i <= 100; ++i) h.record(i * 1000); // ns
+    std::ostringstream ss;
+    dtree::json::Writer w(ss);
+    h.write_json(w); // default scale 1e3: ns in, us out
+    const std::string out = ss.str();
+    EXPECT_NE(out.find("\"count\": 100"), std::string::npos) << out;
+    for (const char* key : {"\"p50_us\"", "\"p99_us\"", "\"p999_us\"",
+                            "\"min_us\"", "\"max_us\"", "\"mean_us\""}) {
+        EXPECT_NE(out.find(key), std::string::npos) << key << " missing: " << out;
+    }
+    // max = 100000 ns -> 100 us after the default 1e3 scale.
+    EXPECT_NE(out.find("\"max_us\": 100"), std::string::npos) << out;
 }
 
 // -- Timer -------------------------------------------------------------------------
