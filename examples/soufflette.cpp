@@ -24,6 +24,13 @@
 // refixpoint(); per-commit latency lands in a p50/p99/p999 histogram
 // reported by --stats and --profile JSON. Combined with --serve-probe, the
 // reader threads keep pinning snapshots while batches commit.
+// --listen[=PORT] starts the TCP wire-protocol server (DESIGN.md §13) after
+// the initial fixpoint: concurrent sessions answer QUERY/RANGE/COUNT against
+// pinned snapshots while COMMITs group-commit through one writer thread;
+// PORT omitted or 0 picks an ephemeral port (printed on startup). The
+// process drains and exits cleanly on SIGINT/SIGTERM. Both the stdin loop
+// and the wire server dispatch through the same datalog::EngineService, so
+// the two surfaces cannot diverge.
 //
 // Try it on the bundled example:
 //   ./build/examples/soufflette examples/programs/reachability.dl
@@ -43,6 +50,8 @@
 
 #include "datalog/io.h"
 #include "datalog/program.h"
+#include "datalog/service.h"
+#include "net/server.h"
 #include "runtime/scheduler.h"
 #include "util/cli.h"
 #include "util/histogram.h"
@@ -137,38 +146,56 @@ struct ServeStats {
 ///   fact REL v1 [v2 ...]   buffer one typed fact (symbol columns interned)
 ///   load REL PATH          buffer a whole .facts file for REL
 ///   commit                 group-commit buffered facts, then refixpoint
+///   query REL v1 [v2 ...]  point membership (typed columns; prints epoch on
+///                          snapshot-capable storage)
+///   scan REL [v1 ...]      prefix range scan: tuples whose leading columns
+///                          equal the given values (none = full scan)
 ///   count REL              print REL's current tuple count
 ///   quit                   leave the loop (EOF also commits an open batch)
+///
+/// All dispatch goes through datalog::EngineService — the same layer the
+/// wire-protocol server uses, so `query` over stdin and QUERY over TCP
+/// cannot drift apart.
 template <typename EngineT>
-void serve_loop(EngineT& engine, const AnalyzedProgram& prog, std::istream& in,
-                unsigned jobs, ServeStats& st) {
-    std::map<std::string, std::vector<StorageTuple>> batch;
+void serve_loop(EngineT& engine, std::istream& in, unsigned jobs, ServeStats& st) {
+    EngineService<EngineT> svc(engine);
+    typename EngineService<EngineT>::Batch batch;
     auto commit = [&] {
         if (batch.empty()) {
             std::printf("nothing to commit\n");
             return;
         }
         dtree::util::Timer timer;
-        std::size_t fresh = 0;
-        for (auto& [rel, facts] : batch) fresh += engine.ingest(rel, facts);
-        const std::uint64_t iters = engine.refixpoint(jobs);
+        const auto res = svc.commit(batch, jobs);
         const std::uint64_t ns = timer.elapsed_ns();
-        batch.clear();
         st.latency.record(ns);
         ++st.commits;
-        st.new_tuples += fresh;
-        st.refixpoint_iterations += iters;
-        std::printf("committed %zu new tuple(s), %llu refixpoint iteration(s), "
+        st.new_tuples += res.fresh;
+        st.refixpoint_iterations += res.iterations;
+        std::printf("committed %llu new tuple(s), %llu refixpoint iteration(s), "
                     "%.3f ms\n",
-                    fresh, static_cast<unsigned long long>(iters),
+                    static_cast<unsigned long long>(res.fresh),
+                    static_cast<unsigned long long>(res.iterations),
                     static_cast<double>(ns) / 1e6);
     };
-    auto decl_of = [&](const std::string& cmd, const std::string& rel) -> const RelationDecl& {
-        auto it = prog.decl_index.find(rel);
-        if (it == prog.decl_index.end()) {
-            throw std::runtime_error(cmd + ": unknown relation: " + rel);
+    /// Parses the remaining tokens of `ss` as typed columns of `d`; requires
+    /// exactly `want` of them (the query arity or the scan prefix length).
+    auto parse_columns = [&](const std::string& cmd, const RelationDecl& d,
+                             std::istringstream& ss, std::size_t want,
+                             StorageTuple& t) {
+        std::string tok;
+        for (std::size_t c = 0; c < want; ++c) {
+            if (!(ss >> tok)) {
+                throw std::runtime_error(cmd + ": expected " +
+                                         std::to_string(want) + " column(s) for " +
+                                         d.name);
+            }
+            t[c] = svc.parse_column(d, static_cast<unsigned>(c), tok);
         }
-        return prog.decls[it->second];
+        if (ss >> tok) {
+            throw std::runtime_error(cmd + ": trailing characters after column " +
+                                     std::to_string(want));
+        }
     };
     std::string line;
     while (std::getline(in, line)) {
@@ -180,27 +207,9 @@ void serve_loop(EngineT& engine, const AnalyzedProgram& prog, std::istream& in,
             if (cmd == "fact") {
                 std::string rel;
                 if (!(ss >> rel)) throw std::runtime_error("fact: missing relation");
-                const auto& types = decl_of(cmd, rel).attribute_types;
+                const RelationDecl& d = svc.decl(rel);
                 StorageTuple t{};
-                std::string tok;
-                for (std::size_t c = 0; c < types.size(); ++c) {
-                    if (!(ss >> tok)) {
-                        throw std::runtime_error(
-                            "fact: expected " + std::to_string(types.size()) +
-                            " column(s) for " + rel);
-                    }
-                    if (types[c] == AttrType::Symbol) {
-                        t[c] = engine.symbols().intern(tok);
-                    } else if (!parse_value(tok, t[c])) {
-                        throw std::runtime_error("fact: bad number '" + tok +
-                                                 "' in column " + std::to_string(c + 1));
-                    }
-                }
-                if (ss >> tok) {
-                    throw std::runtime_error(
-                        "fact: trailing characters after column " +
-                        std::to_string(types.size()));
-                }
+                parse_columns(cmd, d, ss, d.arity(), t);
                 batch[rel].push_back(t);
             } else if (cmd == "load") {
                 std::string rel, path;
@@ -208,18 +217,60 @@ void serve_loop(EngineT& engine, const AnalyzedProgram& prog, std::istream& in,
                     throw std::runtime_error("load: usage: load REL PATH");
                 }
                 const auto facts = read_fact_file(
-                    path, decl_of(cmd, rel).attribute_types, engine.symbols());
+                    path, svc.decl(rel).attribute_types, engine.symbols());
                 auto& b = batch[rel];
                 b.insert(b.end(), facts.begin(), facts.end());
                 std::printf("buffered %zu fact(s) for %s\n", facts.size(), rel.c_str());
             } else if (cmd == "commit") {
                 commit();
+            } else if (cmd == "query") {
+                std::string rel;
+                if (!(ss >> rel)) throw std::runtime_error("query: missing relation");
+                const RelationDecl& d = svc.decl(rel);
+                StorageTuple t{};
+                parse_columns(cmd, d, ss, d.arity(), t);
+                const auto res = svc.query(rel, t);
+                if (EngineService<EngineT>::snapshots) {
+                    std::printf("%s (epoch %llu)\n", res.found ? "present" : "absent",
+                                static_cast<unsigned long long>(res.epoch));
+                } else {
+                    std::printf("%s\n", res.found ? "present" : "absent");
+                }
+            } else if (cmd == "scan") {
+                std::string rel;
+                if (!(ss >> rel)) throw std::runtime_error("scan: missing relation");
+                const RelationDecl& d = svc.decl(rel);
+                // Prefix length = however many column values follow.
+                std::vector<std::string> toks;
+                std::string tok;
+                while (ss >> tok) toks.push_back(tok);
+                if (toks.size() > d.arity()) {
+                    throw std::runtime_error("scan: more columns than the arity of " +
+                                             rel);
+                }
+                StorageTuple bound{};
+                for (std::size_t c = 0; c < toks.size(); ++c) {
+                    bound[c] = svc.parse_column(d, static_cast<unsigned>(c), toks[c]);
+                }
+                std::size_t n = 0;
+                const std::uint64_t epoch =
+                    svc.scan(rel, bound, static_cast<unsigned>(toks.size()),
+                             [&](const StorageTuple& t) {
+                                 std::printf("%s\n", svc.format_tuple(d, t).c_str());
+                                 ++n;
+                             });
+                if (EngineService<EngineT>::snapshots) {
+                    std::printf("%zu tuple(s) (epoch %llu)\n", n,
+                                static_cast<unsigned long long>(epoch));
+                } else {
+                    std::printf("%zu tuple(s)\n", n);
+                }
             } else if (cmd == "count") {
                 std::string rel;
                 if (!(ss >> rel)) throw std::runtime_error("count: missing relation");
-                decl_of(cmd, rel);
-                std::printf("%s: %zu tuple(s)\n", rel.c_str(),
-                            engine.relation(rel).size());
+                svc.decl(rel);
+                std::printf("%s: %llu tuple(s)\n", rel.c_str(),
+                            static_cast<unsigned long long>(svc.count(rel).tuples));
             } else if (cmd == "quit") {
                 break;
             } else {
@@ -283,6 +334,49 @@ int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
     const double runtime_s = timer.elapsed_s();
     std::printf("evaluation finished in %.3f s on %u job(s)\n", runtime_s, jobs);
 
+    // --listen: the wire-protocol server runs AFTER the initial fixpoint and
+    // blocks until SIGINT/SIGTERM (drain: in-flight commits finish, sessions
+    // flush, then we fall through to outputs/stats). serve-probe readers keep
+    // pinning snapshots alongside the remote sessions.
+    bool net_consistent = true;
+    if constexpr (EngineT::RelationT::snapshot_capable) {
+        if (cli.has("listen")) {
+            const std::string port_str = cli.get_str("listen", "1");
+            dtree::net::ServerConfig cfg;
+            // Bare --listen (the CLI stores "1" for valueless flags) means
+            // "pick an ephemeral port", same as an explicit --listen=0.
+            cfg.port = port_str == "1"
+                ? 0
+                : static_cast<std::uint16_t>(cli.get_u64("listen", 0));
+            cfg.jobs = jobs;
+            dtree::net::Server<EngineT> server(engine, cfg);
+            dtree::net::install_signal_handlers(&server.stop_controller());
+            server.start();
+            std::printf("listening on 127.0.0.1:%u (SIGINT/SIGTERM drains and "
+                        "exits)\n",
+                        server.port());
+            std::fflush(stdout);
+            server.wait();
+            dtree::net::install_signal_handlers(nullptr);
+            const auto& c = server.counters();
+            std::printf("wire server: %llu connection(s), %llu frame(s) in / "
+                        "%llu out, %llu commit(s) queued in %llu group(s), "
+                        "%llu timeout(s), %llu shed\n",
+                        static_cast<unsigned long long>(c.connections.load()),
+                        static_cast<unsigned long long>(c.frames_in.load()),
+                        static_cast<unsigned long long>(c.frames_out.load()),
+                        static_cast<unsigned long long>(c.commits_queued.load()),
+                        static_cast<unsigned long long>(c.group_commits.load()),
+                        static_cast<unsigned long long>(c.timeouts.load()),
+                        static_cast<unsigned long long>(c.sessions_shed.load()));
+        }
+    } else if (cli.has("listen")) {
+        std::fprintf(stderr,
+                     "--listen requires snapshot-capable storage (internal "
+                     "dispatch error)\n");
+        net_consistent = false;
+    }
+
     // --serve: the command loop runs AFTER the initial fixpoint; serve-probe
     // readers (if any) keep pinning snapshots while batches commit.
     ServeStats serve;
@@ -300,7 +394,7 @@ int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
             }
             in = &script;
         }
-        serve_loop(engine, prog, *in, jobs, serve);
+        serve_loop(engine, *in, jobs, serve);
     }
 
     probe_stop.store(true, std::memory_order_release);
@@ -436,7 +530,7 @@ int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
                     static_cast<unsigned long long>(ps.steal_failures),
                     static_cast<unsigned long long>(ps.threads_spawned));
     }
-    return probes_consistent ? 0 : 1;
+    return probes_consistent && net_consistent ? 0 : 1;
 }
 
 } // namespace
@@ -446,8 +540,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "usage: %s <program.dl> [--facts=DIR] [--output=DIR] "
                      "[--jobs=N] [--sched=blocks|steal] [--grain=N] "
-                     "[--serve[=FILE]] [--serve-probe[=N]] [--stats] "
-                     "[--profile[=FILE]]\n",
+                     "[--serve[=FILE]] [--serve-probe[=N]] [--listen[=PORT]] "
+                     "[--stats] [--profile[=FILE]]\n",
                      argv[0]);
         return 2;
     }
@@ -458,7 +552,9 @@ int main(int argc, char** argv) {
         : 0;
 
     try {
-        if (probe_threads) {
+        // Snapshot-capable storage whenever someone will read concurrently
+        // with evaluation: probe readers or wire-protocol sessions.
+        if (probe_threads || cli.has("listen")) {
             return run_soufflette<Engine<storage::OurBTreeSnap>>(
                 program_path, cli, probe_threads);
         }

@@ -28,7 +28,11 @@
 # record (BENCH_serve.json) must show nonzero ingest-batch / refixpoint
 # counters and per-workload equal + probe_consistent flags: the incremental
 # commits really re-entered the delta-driven fixpoint and matched the
-# one-shot oracle while probe readers were live.
+# one-shot oracle while probe readers were live. The net record
+# (BENCH_net.json) must show real traffic — nonzero net_connections and
+# net_frames_in, per-op latency histograms with samples — plus the equal +
+# consistent flags: concurrent wire clients committed and queried over
+# loopback sockets and the served state matched the one-shot oracle.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -49,7 +53,7 @@ echo "== configuring $BUILD (DATATREE_METRICS=ON, mode: $MODE) =="
 cmake -B "$BUILD" -S . -DDATATREE_METRICS=ON >/dev/null
 cmake --build "$BUILD" -j"$JOBS" \
   --target fig3_sequential fig4_parallel_insert table2_stats fig5_datalog \
-           ablation_search snapshot_reads serve_ingest
+           ablation_search snapshot_reads serve_ingest serve_net
 
 case "$MODE" in
   smoke)
@@ -63,6 +67,7 @@ case "$MODE" in
     ABLATION_ARGS=(--n=100000)
     SNAPSHOT_ARGS=(--smoke)
     SERVE_ARGS=(--smoke)
+    NET_ARGS=(--smoke)
     ;;
   quick)
     FIG3_ARGS=()
@@ -72,6 +77,7 @@ case "$MODE" in
     ABLATION_ARGS=()
     SNAPSHOT_ARGS=()
     SERVE_ARGS=()
+    NET_ARGS=()
     ;;
   full)
     FIG3_ARGS=(--full)
@@ -81,6 +87,7 @@ case "$MODE" in
     ABLATION_ARGS=(--n=10000000)
     SNAPSHOT_ARGS=(--full)
     SERVE_ARGS=(--full)
+    NET_ARGS=(--full)
     ;;
 esac
 
@@ -106,6 +113,10 @@ run snapshot_reads      BENCH_snapshot.json "${SNAPSHOT_ARGS[@]}"
 # serve_ingest exits nonzero itself if the incremental fixpoint diverges from
 # the one-shot oracle or a probe reader sees an inconsistent snapshot.
 run serve_ingest        BENCH_serve.json "${SERVE_ARGS[@]}"
+# serve_net drives a real loopback TCP server with concurrent wire clients;
+# it exits nonzero if any client-side consistency obligation breaks or the
+# served state diverges from the one-shot oracle.
+run serve_net           BENCH_net.json "${NET_ARGS[@]}"
 
 if command -v python3 >/dev/null 2>&1; then
   echo "== validating emitted JSON =="
@@ -116,7 +127,7 @@ records = {}
 for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_fig4_simd.json",
              "BENCH_table2.json", "BENCH_fig5.json",
              "BENCH_ablation_search.json", "BENCH_snapshot.json",
-             "BENCH_serve.json"):
+             "BENCH_serve.json", "BENCH_net.json"):
     with open(f"{out}/{name}") as f:
         records[name] = json.load(f)
     print(f"   {name}: parses ok")
@@ -213,6 +224,29 @@ for rec in serve["serve"]:
     print(f"   serve {w}: equal ok, {rec['commits']} commits, "
           f"p99 {rec['latency']['p99_us']:.1f} us, "
           f"{rec['probe_pins']} probe pins")
+
+net = records["BENCH_net.json"]
+mn = net["metrics"]
+nrec = net["net"]
+# The wire sweep must show real loopback traffic through the server's hot
+# counters — sessions accepted and frames decoded — and the same numbers in
+# the server section of the record (both sides count independently: the
+# global metrics registry vs the per-server atomics).
+for counter in ("net_connections", "net_frames_in", "net_frames_out",
+                "net_commits_queued"):
+    assert mn.get(counter, 0) > 0, f"net counter {counter} is zero"
+    print(f"   net {counter} = {mn[counter]}")
+assert nrec["server"]["connections"] == mn["net_connections"], \
+    "net server section/metrics disagree on connections"
+assert nrec["equal"], "net: served state != one-shot oracle"
+assert nrec["consistent"], "net: a wire client saw an inconsistency"
+assert nrec["commits"] > 0, "net: no commits ran"
+for op in ("query", "range", "commit", "count"):
+    lat = nrec["latency"][op]
+    assert lat["count"] > 0, f"net: no {op} latency samples"
+    print(f"   net {op}: {lat['count']} ops, p50 {lat['p50_us']:.1f} us, "
+          f"p99 {lat['p99_us']:.1f} us, p999 {lat['p999_us']:.1f} us")
+print("   net: equal + consistent ok")
 EOF
 else
   echo "== python3 not found: skipping JSON validation =="

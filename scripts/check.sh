@@ -8,8 +8,8 @@
 #   3. ASan     the same under -fsanitize=address (skip with --no-asan).
 #
 # The sanitizer passes build only the concurrency-relevant test targets and
-# filter ctest accordingly: the datalog targets pull in OpenMP, whose runtime
-# is not TSan-instrumented and would drown the run in false positives.
+# filter ctest accordingly: the full suite is too slow to run instrumented,
+# and the sequential frontend/regress tests add no sanitizer coverage.
 #
 # Usage: scripts/check.sh [--no-asan]
 # Env:   JOBS=<n>  build/test parallelism (default: nproc)
@@ -24,18 +24,18 @@ RUN_ASAN=1
 # Test targets exercising the concurrent tree and its lock protocol, plus the
 # persistent work-stealing pool (runtime_scheduler_test links only the
 # header-only datatree lib, so it is sanitizer-safe unlike the datalog suite).
-# datalog_ingest_test is the one datalog-layer exception: it links soufflette
-# (which carries OpenMP::OpenMP_CXX), but no translation unit in the library
-# or the test contains an omp pragma, so libgomp never spawns a thread and
-# cannot produce uninstrumented-runtime false positives — and the test is the
-# designated sanitizer proof for incremental ingestion: snapshot probe
-# readers stay pinned while ingest()/refixpoint() commits batches.
+# datalog_ingest_test is the designated sanitizer proof for incremental
+# ingestion: snapshot probe readers stay pinned while ingest()/refixpoint()
+# commits batches. net_server_test is the wire-protocol counterpart: reader
+# threads answer snapshot queries over real sockets while the single writer
+# thread group-commits, including a mid-traffic SIGTERM drain — exactly the
+# interleavings TSan/ASan exist to check.
 CONC_TARGETS=(torture_btree_test optimistic_lock_test btree_concurrent_test
               btree_smallnode_test hints_test runtime_scheduler_test
               btree_bulk_merge_test btree_search_test btree_snapshot_test
-              datalog_ingest_test)
+              datalog_ingest_test net_server_test)
 # ctest -R filter matching exactly the tests those targets register.
-CONC_FILTER='Torture|OptimisticLock|AbortWrite|Concurrent|SmallNode|Hint|Scheduler|BulkMerge|FromSorted|SampleSeparators|SearchEquivalence|SimdLane|ColumnCache|SearchMetrics|Snapshot|Ingest'
+CONC_FILTER='Torture|OptimisticLock|AbortWrite|Concurrent|SmallNode|Hint|Scheduler|BulkMerge|FromSorted|SampleSeparators|SearchEquivalence|SimdLane|ColumnCache|SearchMetrics|Snapshot|Ingest|NetServer'
 # The TSan leg doubles as the scalar-fallback proof for SimdSearch: TSan
 # builds force DTREE_SIMD_VECTOR off (src/core/race_access.h), so the same
 # equivalence + torture tests run the branch-free Access::load column scan

@@ -234,6 +234,16 @@ public:
 
     // -- incremental ingestion (DESIGN.md §12) -------------------------------
 
+    /// Whether ingest() would accept facts for `relation`: it must be
+    /// declared and its positive derivation closure must stay clear of
+    /// negation (see ingest_safe()). Lets the serve layer pre-validate every
+    /// relation of a group-commit request BEFORE staging any of it, so a
+    /// rejected request stages nothing instead of half of its relations.
+    bool ingest_allowed(const std::string& relation) const {
+        const auto it = prog_.decl_index.find(relation);
+        return it != prog_.decl_index.end() && ingest_safe(it->second);
+    }
+
     /// Buffers a batch of new facts for `relation`. Tuples already in FULL or
     /// already pending are dropped so the pending batch stays disjoint from
     /// FULL — the precondition of the bulk-merge fastpath refixpoint() rides.

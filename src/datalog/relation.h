@@ -33,6 +33,31 @@
 
 namespace dtree::datalog {
 
+/// Computes the half-open storage range covering every tuple whose first
+/// `prefix` columns equal `bound[0..prefix)`: `lo` is the prefix zero-padded,
+/// `hi` the prefix incremented as a number with carry. Returns false when the
+/// range has no exclusive upper bound (prefix == 0, or all prefix columns are
+/// already at max) — callers must then scan to the end and filter. Shared by
+/// the snapshot scan, the quiescent Relation scan, and the wire-protocol
+/// RANGE handler so all three agree on range semantics.
+inline bool prefix_bounds(const StorageTuple& bound, unsigned prefix,
+                          StorageTuple& lo, StorageTuple& hi) {
+    lo = StorageTuple{};
+    hi = StorageTuple{};
+    for (unsigned c = 0; c < prefix; ++c) {
+        lo[c] = bound[c];
+        hi[c] = bound[c];
+    }
+    for (unsigned c = prefix; c-- > 0;) {
+        if (hi[c] != std::numeric_limits<Value>::max()) {
+            ++hi[c];
+            for (unsigned d = c + 1; d < kMaxArity; ++d) hi[d] = 0;
+            return true;
+        }
+    }
+    return false;
+}
+
 /// Operation counters (Table 2's "Evaluation Statistics" row group).
 struct OpCounters {
     std::uint64_t inserts = 0;
@@ -202,24 +227,8 @@ public:
         template <typename Fn>
         void scan_prefix(const StorageTuple& bound, unsigned prefix,
                          Fn&& fn) const {
-            StorageTuple lo{}, hi{};
-            for (unsigned c = 0; c < prefix; ++c) {
-                lo[c] = bound[c];
-                hi[c] = bound[c];
-            }
-            // Exclusive upper bound: the prefix incremented as a number,
-            // with carry. All-max prefixes (and prefix == 0) have no upper
-            // bound — scan to the end.
-            bool open = true;
-            for (unsigned c = prefix; c-- > 0;) {
-                if (hi[c] != std::numeric_limits<Value>::max()) {
-                    ++hi[c];
-                    for (unsigned d = c + 1; d < kMaxArity; ++d) hi[d] = 0;
-                    open = false;
-                    break;
-                }
-            }
-            if (open) {
+            StorageTuple lo, hi;
+            if (!prefix_bounds(bound, prefix, lo, hi)) {
                 snap_.for_each([&](const StorageTuple& t) {
                     for (unsigned c = 0; c < prefix; ++c) {
                         if (t[c] < lo[c]) return;
@@ -275,6 +284,51 @@ public:
             total.retained_bytes += s.retained_bytes;
         }
         return total;
+    }
+
+    // -- quiescent reads -----------------------------------------------------
+    // Read surface for a QUIESCENT engine (the stdin serve loop between
+    // commits, tests): unsynchronised against writers. Concurrent readers —
+    // the wire-protocol sessions — must pin snapshot() instead.
+
+    /// Membership test on the primary index. Unordered storages fall back to
+    /// a full scan (they serve no ranged lookup outside evaluation).
+    bool contains(const StorageTuple& t) const {
+        if constexpr (requires(const Storage& s) {
+                          s.contains(std::declval<const StorageTuple&>());
+                      }) {
+            return indexes_[0]->contains(t);
+        } else {
+            bool found = false;
+            indexes_[0]->for_each([&](const StorageTuple& u) {
+                if (u == t) found = true;
+            });
+            return found;
+        }
+    }
+
+    /// All tuples whose first `prefix` columns equal `bound[0..prefix)`, in
+    /// lexicographic order on ordered storages (primary index; tuples come
+    /// back in source column order).
+    template <typename Fn>
+    void scan_prefix(const StorageTuple& bound, unsigned prefix, Fn&& fn) const {
+        StorageTuple lo, hi;
+        const bool bounded = prefix_bounds(bound, prefix, lo, hi);
+        auto filtered = [&](const StorageTuple& t) {
+            for (unsigned c = 0; c < prefix; ++c) {
+                if (t[c] != bound[c]) return;
+            }
+            fn(t);
+        };
+        if constexpr (Storage::ordered) {
+            if (bounded) {
+                indexes_[0]->for_each_in_range(lo, hi, fn);
+            } else {
+                indexes_[0]->for_each(filtered);
+            }
+        } else {
+            indexes_[0]->for_each(filtered);
+        }
     }
 
     /// Aggregated counters from all retired LocalViews.

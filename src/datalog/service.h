@@ -1,0 +1,178 @@
+#pragma once
+
+// EngineService: the ONE command→engine dispatch layer shared by the stdin
+// `--serve` command loop (examples/soufflette.cpp) and the wire-protocol
+// server (src/net/server.h). Both front-ends parse their own surface syntax
+// (text tokens vs. binary frames) and then call the same read/stage/commit
+// methods here, so "query over stdin" and "QUERY over TCP" cannot drift
+// apart semantically.
+//
+// Read semantics by storage capability:
+//   * snapshot-capable storage (storage::OurBTreeSnap): query/scan/count pin
+//     `Relation::snapshot()` — a consistent epoch boundary, safe CONCURRENTLY
+//     with a running refixpoint. Results carry the pinned epoch.
+//   * plain storage: reads go straight at the primary index and are only
+//     valid on a quiescent engine (the single-threaded stdin loop between
+//     commits). Epoch reports as 0.
+//
+// Writes never touch the engine from here concurrently: callers (the net
+// server's single writer thread, the stdin loop) serialize commit().
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/io.h"
+#include "datalog/relation.h"
+
+namespace dtree::datalog {
+
+template <typename EngineT>
+class EngineService {
+public:
+    using RelationT = typename EngineT::RelationT;
+    static constexpr bool snapshots = RelationT::snapshot_capable;
+
+    /// One staged write batch: relation name -> padded tuples, accumulated by
+    /// fact()/load() callers and applied atomically by commit().
+    using Batch = std::map<std::string, std::vector<StorageTuple>>;
+
+    struct ReadResult {
+        bool found = false;
+        std::uint64_t epoch = 0;
+    };
+    struct CountResult {
+        std::uint64_t tuples = 0;
+        std::uint64_t epoch = 0;
+    };
+    struct CommitResult {
+        std::uint64_t fresh = 0;
+        std::uint64_t iterations = 0;
+    };
+
+    explicit EngineService(EngineT& engine) : engine_(engine) {}
+
+    EngineT& engine() { return engine_; }
+    const EngineT& engine() const { return engine_; }
+
+    /// Declaration lookup; nullptr for unknown relations.
+    const RelationDecl* find_decl(const std::string& rel) const {
+        const auto& prog = engine_.analyzed();
+        const auto it = prog.decl_index.find(rel);
+        return it == prog.decl_index.end() ? nullptr : &prog.decls[it->second];
+    }
+
+    /// Throwing variant for dispatch paths that already validated user input.
+    const RelationDecl& decl(const std::string& rel) const {
+        const auto* d = find_decl(rel);
+        if (!d) throw std::runtime_error("unknown relation: " + rel);
+        return *d;
+    }
+
+    // -- reads ---------------------------------------------------------------
+
+    /// Point membership. Snapshot-capable: pins an epoch and is safe during
+    /// a live refixpoint; otherwise a quiescent primary-index probe.
+    ReadResult query(const std::string& rel, const StorageTuple& t) const {
+        const RelationT& r = engine_.relation(rel);
+        if constexpr (snapshots) {
+            const auto snap = r.snapshot();
+            return {snap.contains(t), snap.epoch()};
+        } else {
+            return {r.contains(t), 0};
+        }
+    }
+
+    /// Prefix range scan over the primary index: fn(tuple) in lexicographic
+    /// order, tuples in source column order. Returns the pinned epoch (0 on
+    /// non-snapshot storage).
+    template <typename Fn>
+    std::uint64_t scan(const std::string& rel, const StorageTuple& bound,
+                       unsigned prefix, Fn&& fn) const {
+        const RelationT& r = engine_.relation(rel);
+        if (prefix > r.arity()) {
+            throw std::runtime_error("scan: prefix exceeds arity of " + rel);
+        }
+        if constexpr (snapshots) {
+            const auto snap = r.snapshot();
+            snap.scan_prefix(bound, prefix, fn);
+            return snap.epoch();
+        } else {
+            r.scan_prefix(bound, prefix, fn);
+            return 0;
+        }
+    }
+
+    CountResult count(const std::string& rel) const {
+        const RelationT& r = engine_.relation(rel);
+        if constexpr (snapshots) {
+            const auto snap = r.snapshot();
+            return {snap.size(), snap.epoch()};
+        } else {
+            return {r.size(), 0};
+        }
+    }
+
+    // -- writes (caller-serialized) ------------------------------------------
+
+    bool ingest_allowed(const std::string& rel) const {
+        return engine_.ingest_allowed(rel);
+    }
+
+    /// Applies one staged batch as a group commit: every relation is
+    /// ingested, then ONE refixpoint re-derives the consequences. The batch
+    /// is cleared on success. Caller must pre-validate relations (see
+    /// ingest_allowed) if partial staging on failure is unacceptable.
+    CommitResult commit(Batch& batch, unsigned jobs) {
+        CommitResult res;
+        for (auto& [rel, facts] : batch) {
+            res.fresh += engine_.ingest(rel, facts);
+        }
+        res.iterations = engine_.refixpoint(jobs);
+        batch.clear();
+        return res;
+    }
+
+    // -- value formatting ----------------------------------------------------
+
+    /// Parses one column token by declared type: symbol columns intern the
+    /// raw text, number columns take the strict all-digit parse (io.h).
+    /// Throws on malformed numbers.
+    Value parse_column(const RelationDecl& d, unsigned col, std::string_view tok) {
+        if (d.attribute_types[col] == AttrType::Symbol) {
+            return engine_.symbols().intern(std::string(tok));
+        }
+        Value v = 0;
+        if (!parse_value(tok, v)) {
+            throw std::runtime_error("bad number '" + std::string(tok) +
+                                     "' for column " + d.attribute_names[col] +
+                                     " of " + d.name);
+        }
+        return v;
+    }
+
+    /// Renders the first arity columns tab-separated, symbols as their
+    /// interned text.
+    std::string format_tuple(const RelationDecl& d, const StorageTuple& t) const {
+        std::string out;
+        for (std::size_t c = 0; c < d.arity(); ++c) {
+            if (c) out += '\t';
+            if (d.attribute_types[c] == AttrType::Symbol) {
+                out += engine_.symbols().name(t[c]);
+            } else {
+                out += std::to_string(t[c]);
+            }
+        }
+        return out;
+    }
+
+private:
+    EngineT& engine_;
+};
+
+} // namespace dtree::datalog

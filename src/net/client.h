@@ -1,0 +1,211 @@
+#pragma once
+
+// Blocking client for the soufflette wire protocol: one socket, one
+// outstanding request at a time, every call a full round trip. Used by the
+// loopback integration test and bench/serve_net's client threads; simple on
+// purpose — the concurrency story lives server-side (sessions + snapshots),
+// a client gets parallelism by opening more connections.
+//
+// Error model: transport failures and ERROR frames both surface as NetError;
+// for protocol errors err() carries the server's ErrCode so callers can
+// distinguish "unknown relation" from "batch limit" from "shutting down".
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/protocol.h"
+#include "net/socket.h"
+
+namespace dtree::net {
+
+class NetError : public std::runtime_error {
+public:
+    NetError(ErrCode code, const std::string& msg)
+        : std::runtime_error(std::string(err_name(code)) + ": " + msg),
+          code_(code) {}
+    explicit NetError(const std::string& msg)
+        : std::runtime_error(msg), code_(ErrCode::Internal) {}
+
+    ErrCode err() const { return code_; }
+
+private:
+    ErrCode code_;
+};
+
+class Client {
+public:
+    /// Connects and completes the HELLO handshake. Throws NetError.
+    Client(const std::string& host, std::uint16_t port, int timeout_ms = 10000)
+        : timeout_ms_(timeout_ms) {
+        std::string err;
+        if (!connect_tcp(host, port, timeout_ms, sock_, err)) {
+            throw NetError(err);
+        }
+        const auto hello = encode_hello(kProtocolVersion);
+        send(hello);
+        const Frame f = recv_expect(Op::HelloOk);
+        if (!decode_hello_ok(f, hello_)) {
+            throw NetError("malformed HELLO_OK");
+        }
+    }
+
+    const HelloOkMsg& server_limits() const { return hello_; }
+
+    struct QueryResult {
+        bool found = false;
+        std::uint64_t epoch = 0;
+    };
+
+    QueryResult query(const std::string& rel, const datalog::StorageTuple& t,
+                      unsigned arity) {
+        send(encode_query(rel, t, arity));
+        const Frame f = recv_expect(Op::QueryOk);
+        QueryOkMsg m;
+        if (!decode_query_ok(f, m)) throw NetError("malformed QUERY_OK");
+        return {m.found, m.epoch};
+    }
+
+    /// Streams a prefix range scan; fn(tuple) per result row. Returns the
+    /// pinned epoch the whole scan was served at.
+    template <typename Fn>
+    std::uint64_t range(const std::string& rel, const datalog::StorageTuple& bound,
+                        unsigned prefix, unsigned arity, Fn&& fn) {
+        send(encode_range(rel, bound, prefix, arity));
+        std::uint64_t epoch = 0;
+        for (;;) {
+            const Frame f = recv_expect(Op::RangeOk);
+            RangeOkMsg m;
+            if (!decode_range_ok(f, m)) throw NetError("malformed RANGE_OK");
+            epoch = m.epoch;
+            for (const auto& t : m.tuples) fn(t);
+            if (m.last) return epoch;
+        }
+    }
+
+    /// Buffers one fact server-side; returns the session's staged-tuple count.
+    std::uint32_t fact(const std::string& rel, const datalog::StorageTuple& t,
+                       unsigned arity) {
+        send(encode_fact(rel, t, arity));
+        const Frame f = recv_expect(Op::FactOk);
+        BufferedMsg m;
+        if (!decode_buffered(f, Op::FactOk, m)) throw NetError("malformed FACT_OK");
+        return m.buffered;
+    }
+
+    std::uint32_t load(const std::string& rel,
+                       const std::vector<datalog::StorageTuple>& ts, unsigned arity) {
+        send(encode_load(rel, ts, arity));
+        const Frame f = recv_expect(Op::LoadOk);
+        BufferedMsg m;
+        if (!decode_buffered(f, Op::LoadOk, m)) throw NetError("malformed LOAD_OK");
+        return m.buffered;
+    }
+
+    struct CommitResult {
+        std::uint64_t fresh = 0;
+        std::uint64_t iterations = 0;
+    };
+
+    /// Group-commits everything staged on this session. Blocks until the
+    /// server's writer thread has applied the batch (an acked commit is
+    /// durable in the running engine).
+    CommitResult commit(int timeout_ms = -1) {
+        send(encode_commit());
+        // Commits ride the writer queue behind a refixpoint; allow a longer
+        // (caller-chosen) wait than the default round-trip budget.
+        const Frame f = recv_expect(Op::CommitOk,
+                                    timeout_ms < 0 ? 10 * timeout_budget() : timeout_ms);
+        CommitOkMsg m;
+        if (!decode_commit_ok(f, m)) throw NetError("malformed COMMIT_OK");
+        return {m.fresh, m.iterations};
+    }
+
+    struct CountResult {
+        std::uint64_t tuples = 0;
+        std::uint64_t epoch = 0;
+    };
+
+    CountResult count(const std::string& rel) {
+        send(encode_count(rel));
+        const Frame f = recv_expect(Op::CountOk);
+        CountOkMsg m;
+        if (!decode_count_ok(f, m)) throw NetError("malformed COUNT_OK");
+        return {m.tuples, m.epoch};
+    }
+
+    std::string stats() {
+        send(encode_stats());
+        const Frame f = recv_expect(Op::StatsOk);
+        StatsOkMsg m;
+        if (!decode_stats_ok(f, m)) throw NetError("malformed STATS_OK");
+        return m.json;
+    }
+
+    /// Graceful close: GOODBYE, wait for BYE, drop the socket.
+    void goodbye() {
+        send(encode_goodbye());
+        (void)recv_expect(Op::Bye);
+        sock_.close();
+    }
+
+    /// Escape hatch for protocol tests: raw frame out, next frame back in
+    /// (whatever it is — ERROR frames come back as-is, not thrown).
+    Frame roundtrip_raw(const std::vector<std::uint8_t>& frame) {
+        send(frame);
+        return recv_frame(timeout_budget());
+    }
+
+    void send_raw(const std::vector<std::uint8_t>& frame) { send(frame); }
+    Frame recv_any(int timeout_ms = -1) {
+        return recv_frame(timeout_ms < 0 ? timeout_budget() : timeout_ms);
+    }
+
+    Socket& socket() { return sock_; }
+
+private:
+    int timeout_budget() const { return timeout_ms_; }
+
+    void send(const std::vector<std::uint8_t>& frame) {
+        const IoResult r = sock_.send_all(frame.data(), frame.size(), timeout_ms_);
+        if (r != IoResult::Ok) throw NetError("send failed");
+    }
+
+    Frame recv_frame(int timeout_ms) {
+        Frame f;
+        for (;;) {
+            const auto ev = decoder_.next(f);
+            if (ev == FrameDecoder::Event::Frame) return f;
+            if (ev != FrameDecoder::Event::None) {
+                throw NetError("framing error from server");
+            }
+            std::uint8_t buf[16 * 1024];
+            std::size_t got = 0;
+            const IoResult r = sock_.recv_some(buf, sizeof(buf), got, timeout_ms);
+            if (r == IoResult::Timeout) throw NetError(ErrCode::Timeout, "recv timeout");
+            if (r != IoResult::Ok) throw NetError("connection lost");
+            decoder_.feed(buf, got);
+        }
+    }
+
+    /// Receives one frame and requires opcode `want`; ERROR frames become
+    /// NetError with the server's code.
+    Frame recv_expect(Op want, int timeout_ms = -1) {
+        const Frame f = recv_frame(timeout_ms < 0 ? timeout_budget() : timeout_ms);
+        if (f.op == Op::Error) {
+            ErrorMsg e;
+            if (decode_error(f, e)) throw NetError(e.code, e.message);
+            throw NetError("malformed ERROR frame");
+        }
+        if (f.op != want) throw NetError("unexpected response opcode");
+        return f;
+    }
+
+    Socket sock_;
+    FrameDecoder decoder_{kDefaultMaxFrame};
+    HelloOkMsg hello_;
+    int timeout_ms_;
+};
+
+} // namespace dtree::net

@@ -93,6 +93,15 @@ enum class Counter : unsigned {
     snapshot_pins,       ///< Snapshot handles pinned
     snapshot_cow_images, ///< copy-on-write node images retained
     snapshot_cow_bytes,  ///< bytes served out of the retain arena
+    // net/server.h (wire protocol, DESIGN.md §13)
+    net_connections,    ///< TCP connections accepted
+    net_frames_in,      ///< complete frames decoded from clients
+    net_frames_out,     ///< frames queued for send to clients
+    net_bytes_in,       ///< payload bytes received (post-framing)
+    net_bytes_out,      ///< frame bytes sent
+    net_timeouts,       ///< read deadlines expired (session closed)
+    net_sessions_shed,  ///< slow clients dropped by output backpressure
+    net_commits_queued, ///< COMMIT requests enqueued to the writer thread
     count
 };
 
@@ -142,6 +151,14 @@ inline const char* counter_name(Counter c) {
         case Counter::snapshot_pins: return "snapshot_pins";
         case Counter::snapshot_cow_images: return "snapshot_cow_images";
         case Counter::snapshot_cow_bytes: return "snapshot_cow_bytes";
+        case Counter::net_connections: return "net_connections";
+        case Counter::net_frames_in: return "net_frames_in";
+        case Counter::net_frames_out: return "net_frames_out";
+        case Counter::net_bytes_in: return "net_bytes_in";
+        case Counter::net_bytes_out: return "net_bytes_out";
+        case Counter::net_timeouts: return "net_timeouts";
+        case Counter::net_sessions_shed: return "net_sessions_shed";
+        case Counter::net_commits_queued: return "net_commits_queued";
         default: return "?";
     }
 }

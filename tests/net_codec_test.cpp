@@ -1,0 +1,362 @@
+// Framing-codec suite (DESIGN.md §13): the wire protocol exercised entirely
+// over in-memory buffers — no sockets. What must hold:
+//
+//   * every message roundtrips through encode_* -> FrameDecoder -> decode_*,
+//     with the byte stream split at EVERY possible boundary (the socket layer
+//     may deliver any fragmentation);
+//   * truncated frames never produce an event, oversized frames produce ONE
+//     recoverable Oversized event and the stream resynchronises, a
+//     zero-length header is a sticky Malformed (no resync point exists);
+//   * garbage payloads fail decode_* cleanly (bounds-checked reads, arity
+//     and string-length limits, trailing bytes rejected) — never a crash;
+//   * the HELLO acceptance rule rejects every version but the one we speak.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "net/protocol.h"
+
+namespace {
+
+using namespace dtree::net;
+using dtree::datalog::StorageTuple;
+
+std::vector<std::uint8_t> concat(std::initializer_list<std::vector<std::uint8_t>> parts) {
+    std::vector<std::uint8_t> out;
+    for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+    return out;
+}
+
+/// Feeds `bytes` one byte at a time and collects every decoded frame.
+std::vector<Frame> decode_bytewise(const std::vector<std::uint8_t>& bytes,
+                                   std::size_t max_frame = kDefaultMaxFrame) {
+    FrameDecoder d(max_frame);
+    std::vector<Frame> frames;
+    Frame f;
+    for (std::uint8_t b : bytes) {
+        d.feed(&b, 1);
+        for (;;) {
+            const auto ev = d.next(f);
+            if (ev == FrameDecoder::Event::Frame) {
+                frames.push_back(f);
+            } else if (ev == FrameDecoder::Event::None) {
+                break;
+            }
+            // Oversized/Malformed: keep pumping; tests that expect them use
+            // the decoder directly.
+        }
+    }
+    return frames;
+}
+
+StorageTuple tup(std::uint64_t a, std::uint64_t b = 0, std::uint64_t c = 0,
+                 std::uint64_t d = 0) {
+    StorageTuple t{};
+    t[0] = a;
+    t[1] = b;
+    t[2] = c;
+    t[3] = d;
+    return t;
+}
+
+TEST(NetCodec, RoundtripEveryMessageBytewise) {
+    const StorageTuple t = tup(7, 11, 13, 17);
+    std::vector<StorageTuple> batch = {tup(1, 2), tup(3, 4), tup(5, 6)};
+
+    HelloOkMsg hello_ok{kProtocolVersion, 1u << 20, 1u << 14};
+    RangeOkMsg range_ok;
+    range_ok.epoch = 42;
+    range_ok.last = true;
+    range_ok.arity = 2;
+    range_ok.tuples = batch;
+    CommitOkMsg commit_ok{99, 3};
+    CountOkMsg count_ok{12345, 7};
+    QueryOkMsg query_ok{true, 8};
+
+    const auto bytes = concat({
+        encode_hello(kProtocolVersion),
+        encode_hello_ok(hello_ok),
+        encode_query("edge", t, 2),
+        encode_query_ok(query_ok),
+        encode_range("path", t, 1, 2),
+        encode_range_ok(range_ok),
+        encode_fact("edge", t, 2),
+        encode_buffered(Op::FactOk, 1),
+        encode_load("edge", batch, 2),
+        encode_buffered(Op::LoadOk, 4),
+        encode_commit(),
+        encode_commit_ok(commit_ok),
+        encode_count("path"),
+        encode_count_ok(count_ok),
+        encode_stats(),
+        encode_stats_ok("{\"ok\":true}"),
+        encode_goodbye(),
+        encode_bye(),
+        encode_error(ErrCode::BatchLimit, "too many"),
+    });
+
+    const auto frames = decode_bytewise(bytes);
+    ASSERT_EQ(frames.size(), 19u);
+
+    HelloMsg hello;
+    EXPECT_TRUE(decode_hello(frames[0], hello));
+    EXPECT_EQ(hello.version, kProtocolVersion);
+
+    HelloOkMsg hok;
+    EXPECT_TRUE(decode_hello_ok(frames[1], hok));
+    EXPECT_EQ(hok.max_frame, hello_ok.max_frame);
+    EXPECT_EQ(hok.max_batch, hello_ok.max_batch);
+
+    QueryMsg q;
+    EXPECT_TRUE(decode_query(frames[2], q));
+    EXPECT_EQ(q.rel, "edge");
+    EXPECT_EQ(q.arity, 2u);
+    EXPECT_EQ(q.tuple[0], 7u);
+    EXPECT_EQ(q.tuple[1], 11u);
+    EXPECT_EQ(q.tuple[2], 0u) << "columns past the wire arity read back as 0";
+
+    QueryOkMsg qok;
+    EXPECT_TRUE(decode_query_ok(frames[3], qok));
+    EXPECT_TRUE(qok.found);
+    EXPECT_EQ(qok.epoch, 8u);
+
+    RangeMsg r;
+    EXPECT_TRUE(decode_range(frames[4], r));
+    EXPECT_EQ(r.rel, "path");
+    EXPECT_EQ(r.prefix, 1u);
+
+    RangeOkMsg rok;
+    EXPECT_TRUE(decode_range_ok(frames[5], rok));
+    EXPECT_EQ(rok.epoch, 42u);
+    EXPECT_TRUE(rok.last);
+    ASSERT_EQ(rok.tuples.size(), 3u);
+    EXPECT_EQ(rok.tuples[2][1], 6u);
+
+    FactMsg fact;
+    EXPECT_TRUE(decode_fact(frames[6], fact));
+    EXPECT_EQ(fact.rel, "edge");
+
+    BufferedMsg buf;
+    EXPECT_TRUE(decode_buffered(frames[7], Op::FactOk, buf));
+    EXPECT_EQ(buf.buffered, 1u);
+
+    LoadMsg load;
+    EXPECT_TRUE(decode_load(frames[8], load));
+    EXPECT_EQ(load.rel, "edge");
+    ASSERT_EQ(load.tuples.size(), 3u);
+    EXPECT_EQ(load.tuples[1][0], 3u);
+
+    EXPECT_TRUE(decode_buffered(frames[9], Op::LoadOk, buf));
+    EXPECT_EQ(buf.buffered, 4u);
+
+    EXPECT_TRUE(decode_commit(frames[10]));
+    CommitOkMsg cok;
+    EXPECT_TRUE(decode_commit_ok(frames[11], cok));
+    EXPECT_EQ(cok.fresh, 99u);
+    EXPECT_EQ(cok.iterations, 3u);
+
+    CountMsg cnt;
+    EXPECT_TRUE(decode_count(frames[12], cnt));
+    EXPECT_EQ(cnt.rel, "path");
+    CountOkMsg cntok;
+    EXPECT_TRUE(decode_count_ok(frames[13], cntok));
+    EXPECT_EQ(cntok.tuples, 12345u);
+
+    EXPECT_TRUE(decode_stats(frames[14]));
+    StatsOkMsg stats;
+    EXPECT_TRUE(decode_stats_ok(frames[15], stats));
+    EXPECT_EQ(stats.json, "{\"ok\":true}");
+
+    EXPECT_TRUE(decode_goodbye(frames[16]));
+    EXPECT_TRUE(decode_bye(frames[17]));
+
+    ErrorMsg err;
+    EXPECT_TRUE(decode_error(frames[18], err));
+    EXPECT_EQ(err.code, ErrCode::BatchLimit);
+    EXPECT_EQ(err.message, "too many");
+}
+
+TEST(NetCodec, EveryPrefixOfAValidStreamYieldsNoSpuriousEvent) {
+    const auto bytes = concat({
+        encode_query("edge", tup(1, 2), 2),
+        encode_commit(),
+    });
+    // Feeding any strict prefix must produce exactly the frames whose bytes
+    // are fully present — never an error, never a partial frame.
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+        FrameDecoder d;
+        d.feed(bytes.data(), cut);
+        Frame f;
+        std::size_t complete = 0;
+        for (;;) {
+            const auto ev = d.next(f);
+            if (ev == FrameDecoder::Event::Frame) {
+                ++complete;
+                continue;
+            }
+            ASSERT_EQ(ev, FrameDecoder::Event::None)
+                << "prefix of length " << cut << " produced an error event";
+            break;
+        }
+        const std::size_t first_len = encode_query("edge", tup(1, 2), 2).size();
+        EXPECT_EQ(complete, cut >= first_len ? 1u : 0u) << "cut=" << cut;
+    }
+}
+
+TEST(NetCodec, OversizedFrameIsSkippedAndStreamRecovers) {
+    // Header claims a 1 MiB body against a 1 KiB limit; the decoder must
+    // surface ONE Oversized event, drain the body without buffering it, and
+    // then decode the next valid frame.
+    const std::uint32_t huge = 1u << 20;
+    std::vector<std::uint8_t> bytes;
+    for (unsigned i = 0; i < 4; ++i) {
+        bytes.push_back(static_cast<std::uint8_t>((huge >> (8 * i)) & 0xFF));
+    }
+    bytes.resize(4 + huge, 0xAB); // the oversized body
+    const auto tail = encode_commit();
+    bytes.insert(bytes.end(), tail.begin(), tail.end());
+
+    FrameDecoder d(1024);
+    Frame f;
+    std::size_t oversized = 0, frames = 0;
+    // Feed in 4 KiB chunks to exercise the incremental skip path.
+    for (std::size_t off = 0; off < bytes.size(); off += 4096) {
+        const std::size_t n = std::min<std::size_t>(4096, bytes.size() - off);
+        d.feed(bytes.data() + off, n);
+        for (;;) {
+            const auto ev = d.next(f);
+            if (ev == FrameDecoder::Event::Oversized) {
+                ++oversized;
+            } else if (ev == FrameDecoder::Event::Frame) {
+                ++frames;
+            } else {
+                ASSERT_NE(ev, FrameDecoder::Event::Malformed);
+                break;
+            }
+        }
+    }
+    EXPECT_EQ(oversized, 1u);
+    ASSERT_EQ(frames, 1u);
+    EXPECT_TRUE(decode_commit(f));
+    EXPECT_LT(d.buffered(), 8u) << "oversized body must not be buffered";
+}
+
+TEST(NetCodec, ZeroLengthHeaderIsStickyMalformed) {
+    FrameDecoder d;
+    const std::uint8_t zeros[4] = {0, 0, 0, 0};
+    d.feed(zeros, 4);
+    Frame f;
+    EXPECT_EQ(d.next(f), FrameDecoder::Event::Malformed);
+    EXPECT_TRUE(d.dead());
+    // Even after more (valid) bytes arrive, the decoder stays dead: a broken
+    // length prefix leaves no way to find the next frame boundary.
+    const auto valid = encode_commit();
+    d.feed(valid);
+    EXPECT_EQ(d.next(f), FrameDecoder::Event::Malformed);
+}
+
+TEST(NetCodec, GarbagePayloadsFailCleanly) {
+    std::mt19937_64 rng(0xC0DEC);
+    // Random payloads under every request opcode: decode_* must return false
+    // or parse successfully — never read out of bounds (ASan leg verifies).
+    const Op ops[] = {Op::Hello, Op::Query,  Op::Range, Op::Fact,
+                      Op::Load,  Op::Commit, Op::Count, Op::Stats,
+                      Op::Goodbye};
+    for (int iter = 0; iter < 2000; ++iter) {
+        Frame f;
+        f.op = ops[rng() % (sizeof(ops) / sizeof(ops[0]))];
+        f.payload.resize(rng() % 64);
+        for (auto& b : f.payload) b = static_cast<std::uint8_t>(rng());
+        HelloMsg hello;
+        QueryMsg q;
+        RangeMsg r;
+        FactMsg fa;
+        LoadMsg l;
+        CountMsg c;
+        (void)decode_hello(f, hello);
+        (void)decode_query(f, q);
+        (void)decode_range(f, r);
+        (void)decode_fact(f, fa);
+        (void)decode_load(f, l);
+        (void)decode_commit(f);
+        (void)decode_count(f, c);
+        (void)decode_stats(f);
+        (void)decode_goodbye(f);
+    }
+}
+
+TEST(NetCodec, ArityAboveMaxIsRejected) {
+    // Hand-build a QUERY whose tuple claims arity 5 (> kMaxArity = 4).
+    FrameBuilder b(Op::Query);
+    b.str("edge").u8(5);
+    for (int i = 0; i < 5; ++i) b.u64(1);
+    const auto bytes = b.finish();
+    const auto frames = decode_bytewise(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    QueryMsg q;
+    EXPECT_FALSE(decode_query(frames[0], q));
+}
+
+TEST(NetCodec, StringOverrunIsRejected) {
+    // String length header promises 100 bytes but only 3 follow.
+    FrameBuilder b(Op::Count);
+    b.u16(100).raw("abc");
+    const auto frames = decode_bytewise(b.finish());
+    ASSERT_EQ(frames.size(), 1u);
+    CountMsg c;
+    EXPECT_FALSE(decode_count(frames[0], c));
+}
+
+TEST(NetCodec, TrailingBytesAreRejected) {
+    auto bytes = encode_commit();
+    // Rewrite the length to include one stray trailing byte.
+    bytes.push_back(0x77);
+    bytes[0] = 2; // len: opcode + stray byte
+    const auto frames = decode_bytewise(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_FALSE(decode_commit(frames[0]));
+}
+
+TEST(NetCodec, LyingLoadCountIsRejected) {
+    // LOAD header claims 1000 tuples; payload carries one. The decoder must
+    // fail without allocating for the claimed count.
+    FrameBuilder b(Op::Load);
+    b.str("edge").u8(2).u32(1000).u64(1).u64(2);
+    const auto frames = decode_bytewise(b.finish());
+    ASSERT_EQ(frames.size(), 1u);
+    LoadMsg l;
+    EXPECT_FALSE(decode_load(frames[0], l));
+}
+
+TEST(NetCodec, HelloVersionMismatchIsRejected) {
+    for (std::uint16_t v : {std::uint16_t(0), std::uint16_t(2),
+                            std::uint16_t(999), std::uint16_t(0xFFFF)}) {
+        const auto frames = decode_bytewise(encode_hello(v));
+        ASSERT_EQ(frames.size(), 1u);
+        HelloMsg m;
+        ASSERT_TRUE(decode_hello(frames[0], m));
+        EXPECT_EQ(hello_acceptable(m), v == kProtocolVersion);
+    }
+    HelloMsg good{kProtocolVersion};
+    EXPECT_TRUE(hello_acceptable(good));
+}
+
+TEST(NetCodec, RangeChunksStayUnderTheFrameLimit) {
+    RangeOkMsg m;
+    m.arity = dtree::datalog::kMaxArity;
+    m.tuples.assign(kRangeChunkTuples, tup(~0ull, ~0ull, ~0ull, ~0ull));
+    const auto bytes = encode_range_ok(m);
+    EXPECT_LE(bytes.size(), kDefaultMaxFrame)
+        << "a full RANGE_OK chunk must fit the default frame limit";
+    // And it roundtrips.
+    const auto frames = decode_bytewise(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    RangeOkMsg back;
+    ASSERT_TRUE(decode_range_ok(frames[0], back));
+    EXPECT_EQ(back.tuples.size(), kRangeChunkTuples);
+}
+
+} // namespace
