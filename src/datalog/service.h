@@ -94,15 +94,27 @@ public:
     template <typename Fn>
     std::uint64_t scan(const std::string& rel, const StorageTuple& bound,
                        unsigned prefix, Fn&& fn) const {
+        return scan(rel, bound, prefix, [](std::uint64_t) {}, fn);
+    }
+
+    /// Streaming variant: `begin(epoch)` fires once, after the snapshot is
+    /// pinned and before the first tuple, so chunked emitters (the net
+    /// server's RANGE_OK stream) can stamp every chunk with the pinned epoch
+    /// without buffering the whole scan first.
+    template <typename BeginFn, typename Fn>
+    std::uint64_t scan(const std::string& rel, const StorageTuple& bound,
+                       unsigned prefix, BeginFn&& begin, Fn&& fn) const {
         const RelationT& r = engine_.relation(rel);
         if (prefix > r.arity()) {
             throw std::runtime_error("scan: prefix exceeds arity of " + rel);
         }
         if constexpr (snapshots) {
             const auto snap = r.snapshot();
+            begin(snap.epoch());
             snap.scan_prefix(bound, prefix, fn);
             return snap.epoch();
         } else {
+            begin(0);
             r.scan_prefix(bound, prefix, fn);
             return 0;
         }

@@ -15,6 +15,12 @@
 //   tuple   := arity:u8 value:u64*arity   (arity <= kMaxArity; trailing
 //                                          storage columns read back as 0)
 //
+// Counted tuple blocks (LOAD, RANGE_OK) additionally require arity >= 1 —
+// the parser forbids nullary relations, and with arity 0 a tuple would
+// consume zero payload bytes, so a lying count could not be bounded by the
+// frame size. Decoders check count * 8 * arity against the remaining
+// payload BEFORE looping, so a hostile count fails fast without allocating.
+//
 // Requests (client -> server) and their responses:
 //
 //   HELLO   version:u16                -> HELLO_OK version max_frame max_batch
@@ -235,6 +241,7 @@ public:
         i_ = n_;
     }
 
+    std::size_t remaining() const { return n_ - i_; }
     bool done() const { return i_ == n_; }
 
 private:
@@ -518,10 +525,11 @@ inline bool decode_range_ok(const Frame& f, RangeOkMsg& m) {
     std::uint8_t last = 0;
     std::uint32_t n = 0;
     if (!(r.u64(m.epoch) && r.u8(last) && r.u8(m.arity) && r.u32(n))) return false;
-    if (m.arity > kMaxArity) return false;
+    if (m.arity == 0 || m.arity > kMaxArity) return false;
+    if (r.remaining() != static_cast<std::uint64_t>(n) * 8u * m.arity) return false;
     m.last = last != 0;
     m.tuples.clear();
-    m.tuples.reserve(std::min<std::uint32_t>(n, kRangeChunkTuples));
+    m.tuples.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         StorageTuple t{};
         for (unsigned c = 0; c < m.arity; ++c) {
@@ -548,12 +556,10 @@ inline bool decode_load(const Frame& f, LoadMsg& m) {
     PayloadReader r(f.payload);
     std::uint32_t n = 0;
     if (!(r.str(m.rel) && r.u8(m.arity) && r.u32(n))) return false;
-    if (m.arity > kMaxArity) return false;
+    if (m.arity == 0 || m.arity > kMaxArity) return false;
+    if (r.remaining() != static_cast<std::uint64_t>(n) * 8u * m.arity) return false;
     m.tuples.clear();
-    // Bound the reserve by what the payload could physically hold, so a lying
-    // count in a garbage frame cannot trigger a huge allocation.
-    m.tuples.reserve(std::min<std::size_t>(
-        n, f.payload.size() / (m.arity ? 8u * m.arity : 1u) + 1));
+    m.tuples.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
         StorageTuple t{};
         for (unsigned c = 0; c < m.arity; ++c) {

@@ -451,11 +451,15 @@ private:
             }
             reap_sessions(/*all=*/false);
         }
-        // Stop point: close remaining client sockets' read side so session
-        // readers unblock promptly; their staged-but-uncommitted batches die
-        // with them (a commit is only durable once COMMIT was enqueued).
+        // Stop point: close remaining client sockets' READ side only, so
+        // session readers unblock promptly while the write side stays open —
+        // sender threads must still flush queued responses (a COMMIT_OK for
+        // an applied group commit is a durability promise; killing the write
+        // direction here would turn it into a connection error). Staged-but-
+        // uncommitted batches die with their sessions (a commit is only
+        // durable once COMMIT was enqueued).
         std::lock_guard<std::mutex> lk(sessions_mu_);
-        for (auto& s : sessions_) s->sock.shutdown_both();
+        for (auto& s : sessions_) s->sock.shutdown_read();
     }
 
     void reap_sessions(bool all) {
@@ -519,7 +523,22 @@ private:
     }
 
     void session_loop(Session& sess) {
-        session_run(sess);
+        try {
+            session_run(sess);
+        } catch (const std::exception& e) {
+            // A decoder/handler failure (including bad_alloc on a hostile
+            // payload) closes THIS session, never the process: an escaped
+            // exception on a reader thread would be std::terminate.
+            try {
+                send_error(sess, ErrCode::Internal, e.what());
+            } catch (...) {
+            }
+        } catch (...) {
+            try {
+                send_error(sess, ErrCode::Internal, "internal error");
+            } catch (...) {
+            }
+        }
         sess.out.close(); // sender drains remaining frames, then exits
         sess.finished.store(true, std::memory_order_release);
     }
@@ -746,27 +765,32 @@ private:
 
     FrameAction handle_range(Session& sess, const RangeMsg& m, std::uint8_t arity) {
         // One snapshot pin covers the whole scan, so every chunk of the
-        // response reflects the same epoch; chunking only bounds frame size.
-        std::vector<datalog::StorageTuple> tuples;
-        const std::uint64_t epoch = service_.scan(
+        // response reflects the same epoch; chunking bounds frame size AND
+        // per-session memory — chunks are enqueued from inside the scan
+        // callback, so a full-relation RANGE never materializes the relation
+        // into session-local heap, and the bounded output queue applies its
+        // backpressure per chunk while the scan is still running.
+        RangeOkMsg out;
+        out.arity = arity;
+        out.tuples.reserve(kRangeChunkTuples);
+        bool send_failed = false;
+        service_.scan(
             m.rel, m.bound, m.prefix,
-            [&](const datalog::StorageTuple& t) { tuples.push_back(t); });
-        std::size_t i = 0;
-        const std::size_t total = tuples.size();
-        do {
-            RangeOkMsg out;
-            out.arity = arity;
-            out.epoch = epoch;
-            const std::size_t n = std::min(kRangeChunkTuples, total - i);
-            out.tuples.assign(tuples.begin() + static_cast<std::ptrdiff_t>(i),
-                              tuples.begin() + static_cast<std::ptrdiff_t>(i + n));
-            i += n;
-            out.last = (i == total);
-            if (!send_frame(sess, encode_range_ok(out))) {
-                return FrameAction::CloseSession;
-            }
-        } while (i < total);
-        return FrameAction::Continue;
+            [&](std::uint64_t epoch) { out.epoch = epoch; },
+            [&](const datalog::StorageTuple& t) {
+                if (send_failed) return;
+                out.tuples.push_back(t);
+                if (out.tuples.size() >= kRangeChunkTuples) {
+                    out.last = false;
+                    if (!send_frame(sess, encode_range_ok(out))) {
+                        send_failed = true;
+                    }
+                    out.tuples.clear();
+                }
+            });
+        if (send_failed) return FrameAction::CloseSession;
+        out.last = true; // final chunk: whatever remains, possibly empty
+        return keep_after(send_frame(sess, encode_range_ok(out)));
     }
 
     FrameAction bad_frame(Session& sess) {

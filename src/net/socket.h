@@ -5,6 +5,12 @@
 //
 //   * every blocking wait is poll() against a CLOCK_MONOTONIC deadline, so
 //     EINTR restarts never extend a timeout;
+//   * connected fds run in O_NONBLOCK mode: poll(POLLOUT) only promises
+//     SOME buffer space, so on a blocking fd the subsequent full-remainder
+//     send() could block on a peer that stopped reading and the deadline
+//     would be illusory. Non-blocking, send() writes what fits, returns
+//     EAGAIN, and the loop re-polls under the same deadline — the timeout
+//     is real;
 //   * send_all loops over partial writes, recv_some surfaces partial reads
 //     to the framing decoder (which is split-point-agnostic by design);
 //   * sends use MSG_NOSIGNAL — a peer that vanished mid-write yields an
@@ -20,6 +26,7 @@
 #include <string>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -101,6 +108,20 @@ public:
     /// Both directions; unblocks a peer (or our own reader) stuck in recv.
     void shutdown_both() {
         if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+    }
+
+    /// Read side only: our recv unblocks (returns 0), but the write side
+    /// stays open so queued responses can still flush to the peer.
+    void shutdown_read() {
+        if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+    }
+
+    /// O_NONBLOCK: required for deadline-correct send_all/recv_some (see the
+    /// header comment). Every connected socket gets this at creation.
+    bool set_nonblocking() {
+        if (fd_ < 0) return false;
+        const int flags = ::fcntl(fd_, F_GETFL, 0);
+        return flags >= 0 && ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) == 0;
     }
 
     /// Writes all `n` bytes or reports why it could not: partial writes loop,
@@ -214,6 +235,7 @@ public:
                 const int one = 1;
                 ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
                 out = Socket(fd);
+                out.set_nonblocking();
                 return IoResult::Ok;
             }
             if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
@@ -266,6 +288,9 @@ inline bool connect_tcp(const std::string& host, std::uint16_t port,
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     out = Socket(fd);
+    // Non-blocking only AFTER the (synchronous loopback) connect, so the
+    // connect path stays simple while all I/O is deadline-correct.
+    out.set_nonblocking();
     return true;
 }
 

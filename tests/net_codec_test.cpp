@@ -331,6 +331,42 @@ TEST(NetCodec, LyingLoadCountIsRejected) {
     EXPECT_FALSE(decode_load(frames[0], l));
 }
 
+TEST(NetCodec, ZeroArityCountedBlocksAreRejected) {
+    // A ~10-byte LOAD claiming arity 0 and n = 0xFFFFFFFF: with arity 0 each
+    // tuple consumes zero payload bytes, so without the up-front arity/size
+    // checks the decode loop would run ~4.3B push_backs before the trailing-
+    // bytes check — a remote OOM from one tiny frame. Must fail fast.
+    {
+        FrameBuilder b(Op::Load);
+        b.str("e").u8(0).u32(0xFFFFFFFFu);
+        const auto frames = decode_bytewise(b.finish());
+        ASSERT_EQ(frames.size(), 1u);
+        LoadMsg l;
+        EXPECT_FALSE(decode_load(frames[0], l));
+        EXPECT_TRUE(l.tuples.empty());
+    }
+    // The same hole on the client side: RANGE_OK with arity 0.
+    {
+        FrameBuilder b(Op::RangeOk);
+        b.u64(7).u8(1).u8(0).u32(0xFFFFFFFFu);
+        const auto frames = decode_bytewise(b.finish());
+        ASSERT_EQ(frames.size(), 1u);
+        RangeOkMsg m;
+        EXPECT_FALSE(decode_range_ok(frames[0], m));
+        EXPECT_TRUE(m.tuples.empty());
+    }
+}
+
+TEST(NetCodec, LyingRangeOkCountIsRejected) {
+    // RANGE_OK claims 1000 tuples of arity 2 but carries one.
+    FrameBuilder b(Op::RangeOk);
+    b.u64(7).u8(1).u8(2).u32(1000).u64(1).u64(2);
+    const auto frames = decode_bytewise(b.finish());
+    ASSERT_EQ(frames.size(), 1u);
+    RangeOkMsg m;
+    EXPECT_FALSE(decode_range_ok(frames[0], m));
+}
+
 TEST(NetCodec, HelloVersionMismatchIsRejected) {
     for (std::uint16_t v : {std::uint16_t(0), std::uint16_t(2),
                             std::uint16_t(999), std::uint16_t(0xFFFF)}) {

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <set>
@@ -421,6 +422,42 @@ TEST(NetServer, SigtermDrainsCleanly) {
         EXPECT_TRUE(path_set.count(t))
             << "derived consequence of an acked edge lost in shutdown drain";
     }
+}
+
+// A client that requests data and never reads a byte must not wedge the
+// server. Regression for two coupled bugs: accepted sockets were blocking,
+// so poll(POLLOUT) + blocking send() made the write deadline illusory (the
+// sender thread wedged in ::send forever), and reap_sessions on the acceptor
+// thread then blocked in sender.join() — one hostile client halted accepts.
+TEST(NetServer, SlowClientIsShedWithoutWedgingTheServer) {
+    net::ServerConfig cfg;
+    cfg.write_timeout_ms = 200;
+    cfg.poll_slice_ms = 20;
+    cfg.max_output_bytes = 64 * 1024;
+    ServerFixture fx(cfg, /*chain=*/64); // cyclic chain: |path| = 64*64
+
+    // Flood full-relation RANGE requests without reading any response: the
+    // ~135 KiB chunks fill the socket buffer, then the bounded output queue,
+    // then the write deadline fires and the session is shed.
+    net::Client slow("127.0.0.1", fx.server.port());
+    for (int i = 0; i < 200; ++i) {
+        slow.send_raw(net::encode_range("path", StorageTuple{}, 0, 2));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    while (fx.server.counters().sessions_shed.load() == 0 &&
+           std::chrono::steady_clock::now() - t0 < std::chrono::seconds(30)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    EXPECT_GE(fx.server.counters().sessions_shed.load(), 1u);
+
+    // The acceptor must still be serving new connections end to end.
+    net::Client fresh("127.0.0.1", fx.server.port());
+    EXPECT_TRUE(fresh.query("edge", tup(1, 2), 2).found);
+    EXPECT_EQ(fresh.count("path").tuples, 64u * 64u);
+    fresh.goodbye();
+
+    fx.server.request_stop();
+    fx.server.wait(); // must return: no thread may be wedged in ::send
 }
 
 TEST(NetServer, ReadTimeoutClosesIdleSessions) {
