@@ -1,0 +1,255 @@
+// Contention ablation for the hot-leaf elimination/combining insert path
+// (DESIGN.md §14): Zipf-skewed duplicate storms, exponent x threads x policy.
+//
+//   ./build/bench/ablation_zipf [--full] [--n=OPS] [--keys=K]
+//       [--threads=1,4,8] [--zipf=0.8,1.1] [--threshold=N]
+//       [--json=FILE] [--smoke]
+//
+// Each thread draws its operation stream from util::Zipf over a K-key
+// universe (ranks scattered across the key space by a fixed permutation, so
+// hot keys live in *different* leaves — the general hot-leaf case, not one
+// hot leaf). At s >= 1.0 most operations are duplicate re-inserts of a few
+// hot keys racing on a few hot leaves: exactly the storm semi-naive
+// evaluation produces when a skewed delta rederives the same tuples from
+// every worker (ROADMAP item 4).
+//
+// Every cell runs twice: the plain optimistic tree ("btree") and the
+// combining-enabled tree ("btree (comb)"). --threshold pins the adaptive
+// trigger; the default 0 routes EVERY insert through the elimination probe /
+// combining publisher so the cells isolate the adaptive path itself rather
+// than the trigger heuristic (and so the combine_* counters fire
+// deterministically on any host — scripts/bench.sh gates on them).
+// Per-insert latency lands in one util::Histogram per thread, merged into
+// the p99 axis of the JSON record; per-cell metric deltas (validation
+// failures, restarts, leaf retries, writer spins/backoffs, combine counters)
+// land next to them.
+
+#include "bench/common.h"
+
+#include "baselines/adapters.h"
+#include "util/histogram.h"
+
+#include <cstdio>
+#include <sstream>
+#include <thread>
+
+namespace {
+
+using namespace dtree;
+using namespace dtree::bench;
+using namespace dtree::baselines;
+
+using PlainBTree = BTreeAdapterImpl<btree_set<Point>, true, true>;
+using CombineBTree = OurBTreeCombineAdapter<Point>;
+
+/// Counters reported per cell (as deltas across the timed region).
+constexpr metrics::Counter kCellCounters[] = {
+    metrics::Counter::lock_validations_failed,
+    metrics::Counter::btree_restarts,
+    metrics::Counter::btree_leaf_retries,
+    metrics::Counter::lock_write_spins,
+    metrics::Counter::lock_write_backoffs,
+    metrics::Counter::combine_elisions,
+    metrics::Counter::combine_batches,
+    metrics::Counter::combine_batched_keys,
+};
+
+struct Cell {
+    double s = 0;
+    unsigned threads = 0;
+    const char* policy = "";
+    std::size_t ops = 0;
+    double mops = 0;
+    util::Histogram latency;
+    std::uint64_t counters[std::size(kCellCounters)] = {};
+};
+
+/// Pre-generated per-thread operation streams for one (s, threads) point:
+/// sampling the Zipf CDF stays outside the timed region.
+std::vector<std::vector<Point>> make_streams(std::size_t n, std::size_t keys,
+                                             double s, unsigned threads,
+                                             const std::vector<std::size_t>& perm) {
+    util::Zipf zipf(keys, s);
+    std::vector<std::vector<Point>> streams(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        util::Rng rng(1000 * (t + 1) + static_cast<std::uint64_t>(100 * s));
+        auto& ops = streams[t];
+        ops.reserve(n / threads);
+        for (std::size_t i = 0; i < n / threads; ++i) {
+            const std::uint64_t k = perm[zipf(rng)];
+            ops.push_back(Point{k, k});
+        }
+    }
+    return streams;
+}
+
+std::size_t distinct_keys(const std::vector<std::vector<Point>>& streams,
+                          std::size_t keys) {
+    std::vector<bool> seen(keys);
+    std::size_t distinct = 0;
+    for (const auto& ops : streams) {
+        for (const Point& p : ops) {
+            // perm is a permutation of [0, keys), stored in both columns.
+            if (!seen[p[0] % keys]) {
+                seen[p[0] % keys] = true;
+                ++distinct;
+            }
+        }
+    }
+    return distinct;
+}
+
+template <typename Adapter>
+Cell run_cell(const std::vector<std::vector<Point>>& streams, double s,
+              unsigned threads, const char* policy, std::uint32_t threshold,
+              std::size_t expected_distinct) {
+    Adapter set{};
+    if constexpr (Adapter::combine_capable) set.set_combine_threshold(threshold);
+
+    std::vector<util::Histogram> lat(threads);
+    const metrics::Snapshot before = metrics::snapshot();
+    util::Timer timer;
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+            auto local = set.make_local(t);
+            auto& h = lat[t];
+            for (const Point& p : streams[t]) {
+                util::Timer op;
+                local.insert(p);
+                h.record(op.elapsed_ns());
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+    const double secs = timer.elapsed_s();
+    const metrics::Snapshot after = metrics::snapshot();
+
+    Cell cell;
+    cell.s = s;
+    cell.threads = threads;
+    cell.policy = policy;
+    for (const auto& ops : streams) cell.ops += ops.size();
+    cell.mops = static_cast<double>(cell.ops) / secs / 1e6;
+    for (const auto& h : lat) cell.latency.merge(h);
+    for (std::size_t i = 0; i < std::size(kCellCounters); ++i) {
+        cell.counters[i] = after[kCellCounters[i]] - before[kCellCounters[i]];
+    }
+
+    if (set.size() != expected_distinct) {
+        std::fprintf(stderr,
+                     "ablation_zipf: %s s=%.2f t=%u: size %zu != distinct %zu\n",
+                     policy, s, threads, set.size(), expected_distinct);
+        std::exit(1);
+    }
+    return cell;
+}
+
+std::vector<double> parse_exponents(const std::string& spec,
+                                    std::vector<double> dflt) {
+    if (spec.empty() || spec == "1") return dflt;
+    std::vector<double> out;
+    std::istringstream ss(spec);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) out.push_back(std::stod(tok));
+    return out;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    dtree::util::Cli cli(argc, argv);
+    JsonReport report("ablation_zipf", cli);
+    const bool full = cli.get_bool("full");
+    const bool smoke = cli.get_bool("smoke");
+    const std::size_t n =
+        cli.get_u64("n", full ? 10'000'000ull : smoke ? 160'000ull : 400'000ull);
+    const std::size_t keys = cli.get_u64("keys", full ? 65536 : 4096);
+    const auto threads = cli.get_list(
+        "threads", full ? std::vector<unsigned>{1, 2, 4, 8, 16}
+                        : std::vector<unsigned>{1, 4, 8});
+    const auto exponents = parse_exponents(
+        cli.get_str("zipf", ""),
+        full ? std::vector<double>{0.0, 0.6, 0.8, 1.0, 1.2, 1.4}
+             : std::vector<double>{0.8, 1.1});
+    const std::uint32_t threshold =
+        static_cast<std::uint32_t>(cli.get_u64("threshold", 0));
+
+    // One fixed scatter of Zipf ranks over the key space for every cell.
+    util::Rng perm_rng(42);
+    const auto perm = dtree::util::permutation(keys, perm_rng);
+
+    std::vector<Cell> cells;
+    for (double s : exponents) {
+        char title[160];
+        std::snprintf(title, sizeof(title),
+                      "[ablation] zipf s=%.2f inserts (%zu ops, %zu keys), "
+                      "M ops/s", s, n, keys);
+        util::SeriesTable tput(title, "threads");
+        std::snprintf(title, sizeof(title),
+                      "[ablation] zipf s=%.2f insert p99, us", s);
+        util::SeriesTable p99(title, "threads");
+        std::vector<std::string> xs;
+        for (unsigned t : threads) xs.push_back(std::to_string(t));
+        tput.set_x(xs);
+        p99.set_x(xs);
+
+        // SeriesTable rows extend on consecutive same-name adds, so collect
+        // the whole thread sweep first, then emit series by series.
+        std::vector<Cell> offs, ons;
+        for (unsigned t : threads) {
+            const auto streams = make_streams(n, keys, s, t, perm);
+            const std::size_t distinct = distinct_keys(streams, keys);
+            offs.push_back(run_cell<PlainBTree>(streams, s, t, "baseline",
+                                                threshold, distinct));
+            ons.push_back(run_cell<CombineBTree>(streams, s, t, "combine",
+                                                 threshold, distinct));
+        }
+        for (const Cell& c : offs) tput.add("btree", c.mops);
+        for (const Cell& c : ons) tput.add("btree (comb)", c.mops);
+        for (const Cell& c : offs) {
+            p99.add("btree", static_cast<double>(c.latency.p99()) / 1e3);
+        }
+        for (const Cell& c : ons) {
+            p99.add("btree (comb)", static_cast<double>(c.latency.p99()) / 1e3);
+        }
+        for (std::size_t i = 0; i < offs.size(); ++i) {
+            cells.push_back(offs[i]);
+            cells.push_back(ons[i]);
+        }
+        tput.print();
+        p99.print();
+        report.add_table(tput);
+        report.add_table(p99);
+    }
+
+    report.add_section("zipf", [&](dtree::json::Writer& w) {
+        w.begin_object();
+        w.kv("keys", keys);
+        w.kv("threshold", threshold);
+        w.key("cells");
+        w.begin_array();
+        for (const auto& c : cells) {
+            w.begin_object();
+            w.kv("s", c.s);
+            w.kv("threads", c.threads);
+            w.kv("policy", c.policy);
+            w.kv("ops", c.ops);
+            w.kv("mops", c.mops);
+            w.key("latency");
+            c.latency.write_json(w);
+            w.key("counters");
+            w.begin_object();
+            for (std::size_t i = 0; i < std::size(kCellCounters); ++i) {
+                w.kv(dtree::metrics::counter_name(kCellCounters[i]),
+                     c.counters[i]);
+            }
+            w.end_object();
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    });
+    return report.write() ? 0 : 1;
+}

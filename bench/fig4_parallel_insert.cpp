@@ -3,7 +3,7 @@
 //   ./build/bench/fig4_parallel_insert [--full] [--n=2000000] [--threads=1,2,4,8]
 //                                      [--sched=blocks|steal] [--grain=N]
 //                                      [--search=default|linear|binary|simd]
-//                                      [--json=FILE] [--smoke]
+//                                      [--json=FILE] [--smoke] [--combine]
 //
 // --json writes the machine-readable run record (see bench/common.h);
 // --smoke runs only the single-socket sections (CI smoke job).
@@ -14,6 +14,12 @@
 // --search overrides the in-node search policy of the "btree" rows (the
 // baselines never change): the scaling counterpart of bench/ablation_search,
 // isolating the SimdSearch kernel's contribution under contention.
+// --combine adds a "btree (comb)" row running the combining-enabled tree
+// (DESIGN.md §14) at its default trigger threshold. Fig. 4's uniform keys
+// rarely trip the adaptive path — the row exists to show the policy costs
+// nothing when contention is low; bench/ablation_zipf shows the win. The
+// default sweep never instantiates the policy, which is what lets
+// scripts/bench.sh assert all-zero combine counters on this record.
 //
 // (a) ordered, single-socket thread counts {1..16}
 // (b) random,  single-socket thread counts {1..16}
@@ -85,6 +91,7 @@ bool parse_search(const std::string& s, SearchMode& out) {
 }
 
 SearchMode g_search = SearchMode::Default;
+bool g_combine = false;
 
 template <typename Search, bool UseHints>
 using OurBTreeWith = BTreeAdapterImpl<
@@ -140,6 +147,13 @@ void run_section(const char* title, std::size_t n, bool ordered,
         const auto pts = make_input(n, ordered, t);
         table.add("btree (n/h)", run_our<false>(pts, t));
     }
+    if (g_combine) {
+        for (unsigned t : threads) {
+            const auto pts = make_input(n, ordered, t);
+            table.add("btree (comb)",
+                      run_one<OurBTreeCombineAdapter<Point>>(pts, t));
+        }
+    }
     for (unsigned t : threads) {
         const auto pts = make_input(n, ordered, t);
         table.add("google btree", run_one<GlobalLockBTreeAdapter<Point>>(pts, t));
@@ -181,6 +195,7 @@ int main(int argc, char** argv) {
                      search.c_str());
         return 2;
     }
+    g_combine = cli.get_bool("combine");
 
     const auto single = cli.get_list("threads", {1, 2, 4, 8, 12, 16});
     const auto multi = cli.get_list("threads", {1, 2, 4, 8, 12, 16, 20, 24, 28, 32});

@@ -3,6 +3,11 @@
 // (54%/52% for Doop at 1/16 threads; 77%/76% for the EC2 analysis).
 //
 //   ./build/bench/table2_stats [--full] [--scale=N] [--json=FILE]
+//                              [--combine[=N]]
+//
+// --combine[=N] runs both workloads on the combining-enabled storage
+// (DESIGN.md §14) with trigger threshold N (default: the tree's own); the
+// Zipf-skewed doop-like 16-thread leg is where the hot-leaf path fires.
 
 #include "bench/common.h"
 
@@ -24,22 +29,40 @@ struct Row {
     double hint_rate_16t = 0;
 };
 
+/// --combine[=N]: when set, both workloads run on the combining storage with
+/// this trigger threshold (no value keeps the tree's default).
+bool g_combine = false;
+std::uint32_t g_combine_threshold = 0;
+bool g_combine_threshold_set = false;
+
+template <typename StorageT>
 Row measure(const Workload& w) {
     Row row;
     {
-        Engine<storage::OurBTree> engine(compile(w.source));
+        Engine<StorageT> engine(compile(w.source));
+        if (g_combine_threshold_set) {
+            engine.set_combine_threshold(g_combine_threshold);
+        }
         for (const auto& [rel, facts] : w.facts) engine.add_facts(rel, facts);
         engine.run(1);
         row.stats = engine.stats();
         row.hint_rate_1t = row.stats.hints.hit_rate();
     }
     {
-        Engine<storage::OurBTree> engine(compile(w.source));
+        Engine<StorageT> engine(compile(w.source));
+        if (g_combine_threshold_set) {
+            engine.set_combine_threshold(g_combine_threshold);
+        }
         for (const auto& [rel, facts] : w.facts) engine.add_facts(rel, facts);
         engine.run(16);
         row.hint_rate_16t = engine.stats().hints.hit_rate();
     }
     return row;
+}
+
+Row measure(const Workload& w) {
+    return g_combine ? measure<storage::OurBTreeCombine>(w)
+                     : measure<storage::OurBTree>(w);
 }
 
 void print_row(const char* name, double a, double b) {
@@ -52,6 +75,12 @@ int main(int argc, char** argv) {
     dtree::util::Cli cli(argc, argv);
     const bool full = cli.get_bool("full");
     const std::size_t scale = cli.get_u64("scale", full ? 20000 : 1200);
+    g_combine = cli.has("combine");
+    if (g_combine && cli.get_str("combine", "1") != "1") {
+        g_combine_threshold =
+            static_cast<std::uint32_t>(cli.get_u64("combine", 2));
+        g_combine_threshold_set = true;
+    }
 
     const Workload doop = make_doop_like(scale, 7);
     const Workload ec2 = make_ec2_like(scale + scale / 4, 11);

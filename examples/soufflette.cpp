@@ -24,6 +24,11 @@
 // refixpoint(); per-commit latency lands in a p50/p99/p999 histogram
 // reported by --stats and --profile JSON. Combined with --serve-probe, the
 // reader threads keep pinning snapshots while batches commit.
+// --combine[=N] switches to the combining-enabled storage (DESIGN.md §14):
+// inserts that keep losing optimistic validation fall back to hot-leaf
+// elimination/combining after N consecutive retries (default 2; N=0 routes
+// every insert through the adaptive path). Ignored under --serve-probe /
+// --listen, which select the snapshot storage instead.
 // --listen[=PORT] starts the TCP wire-protocol server (DESIGN.md §13) after
 // the initial fixpoint: concurrent sessions answer QUERY/RANGE/COUNT against
 // pinned snapshots while COMMITs group-commit through one writer thread;
@@ -304,6 +309,15 @@ int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
         engine.set_scheduler_mode(mode);
     }
     if (grain) engine.set_grain(grain);
+    if (cli.has("combine")) {
+        // Bare --combine (the CLI stores "1" for valueless flags) keeps the
+        // tree's default trigger threshold; --combine=N overrides it. No-op
+        // on storages without the combining policy (e.g. under --listen).
+        if (cli.get_str("combine", "1") != "1") {
+            engine.set_combine_threshold(
+                static_cast<std::uint32_t>(cli.get_u64("combine", 2)));
+        }
+    }
 
     for (const auto& decl : prog.decls) {
         if (!decl.is_input) continue;
@@ -541,7 +555,7 @@ int main(int argc, char** argv) {
                      "usage: %s <program.dl> [--facts=DIR] [--output=DIR] "
                      "[--jobs=N] [--sched=blocks|steal] [--grain=N] "
                      "[--serve[=FILE]] [--serve-probe[=N]] [--listen[=PORT]] "
-                     "[--stats] [--profile[=FILE]]\n",
+                     "[--combine[=N]] [--stats] [--profile[=FILE]]\n",
                      argv[0]);
         return 2;
     }
@@ -555,8 +569,17 @@ int main(int argc, char** argv) {
         // Snapshot-capable storage whenever someone will read concurrently
         // with evaluation: probe readers or wire-protocol sessions.
         if (probe_threads || cli.has("listen")) {
+            if (cli.has("combine")) {
+                std::fprintf(stderr,
+                             "note: --combine is ignored with --serve-probe/"
+                             "--listen (snapshot storage selected)\n");
+            }
             return run_soufflette<Engine<storage::OurBTreeSnap>>(
                 program_path, cli, probe_threads);
+        }
+        if (cli.has("combine")) {
+            return run_soufflette<Engine<storage::OurBTreeCombine>>(
+                program_path, cli, 0);
         }
         return run_soufflette<DefaultEngine>(program_path, cli, 0);
     } catch (const std::exception& e) {

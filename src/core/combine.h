@@ -1,0 +1,173 @@
+#pragma once
+
+// Hot-leaf elimination & combining (DESIGN.md §14): the announce-pool data
+// structure behind the contention-adaptive insert path.
+//
+// Under skewed (Zipfian) write storms the optimistic protocol of Alg. 1
+// degrades on the hottest leaves: every failed lock upgrade is a full retry,
+// and every retry re-runs the descent and bumps the version word again. Most
+// of those storming inserts are *re-derivations* — the key is already present
+// — so the adaptive path (core/btree.h, WithCombining policy) first probes
+// membership read-only under a lease ("elimination", zero stores), and only
+// genuine survivors are published here: each announcer CAS-claims an entry in
+// the slot its leaf hashes to, then one thread at a time becomes the slot's
+// *combiner*, acquires the leaf write lock ONCE, and applies the whole batch
+// (in the spirit of elimination (a,b)-trees / flat combining).
+//
+// The pool itself is deliberately dumb: fixed-size, allocation-free after
+// construction, and knows nothing about tree nodes beyond an opaque leaf
+// pointer. All tree semantics (membership, split, snapshot retention) live in
+// btree.h's combine_apply, which has the node types in scope.
+//
+// Entry life cycle (state word, release/acquire published):
+//
+//      Empty --CAS(acq)--> Staging --store(rel)--> Staged
+//                                                    | combiner
+//                                                    v
+//      Empty <--store(rel)-- {Inserted | Duplicate | Failed}
+//                 ^ announcer consumes its result
+//
+// The announcer never blocks on a combiner showing up: its wait loop *is*
+// "try to become the combiner" (TAS on the slot's combiner word), so the
+// thread that announced is always able to apply its own entry — no lost-
+// wakeup, no dependency on other threads making progress. Failed entries
+// (leaf no longer covers the key, or a split consumed the batch) are retried
+// by their announcer through the ordinary optimistic path.
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/optimistic_lock.h"
+
+namespace dtree::detail {
+
+/// Announce-entry states. Values below kResolved are owned by the announcer
+/// (claim/publish); values at or above it are verdicts a combiner published.
+enum class CombineState : std::uint32_t {
+    Empty = 0,   ///< free for claiming
+    Staging = 1, ///< claimed; leaf/key being written by the announcer
+    Staged = 2,  ///< published; visible to combiners
+    Inserted = 3,  ///< combiner inserted the key
+    Duplicate = 4, ///< combiner found the key present (set semantics)
+    Failed = 5,    ///< combiner could not apply (split/moved); retry normally
+};
+
+template <typename Key>
+class CombinePool {
+public:
+    static constexpr unsigned kSlots = 64;
+    static constexpr unsigned kEntries = 8;
+
+    struct Entry {
+        std::atomic<CombineState> state{CombineState::Empty};
+        // Plain fields, published by the Staged release-store and read back
+        // under the matching acquire load — never touched while Empty.
+        void* leaf = nullptr;
+        Key key{};
+    };
+
+    /// All announcers for one leaf land in the same slot (hashed by leaf
+    /// pointer), so one combiner drains one hot leaf's whole batch. Distinct
+    /// leaves colliding into a slot is fine — the combiner groups entries by
+    /// leaf pointer. Slots are cache-line-aligned so combining traffic on
+    /// one hot leaf does not false-share with another.
+    struct alignas(64) Slot {
+        std::atomic<std::uint32_t> combiner{0};
+        Entry entries[kEntries];
+
+        bool try_lock_combiner() {
+            return combiner.exchange(1, std::memory_order_acquire) == 0;
+        }
+        void unlock_combiner() { combiner.store(0, std::memory_order_release); }
+    };
+
+    Slot& slot_for(const void* leaf) {
+        // Mix the pointer: nodes are allocation-aligned, so the low bits are
+        // dead; fold the high bits down (fibonacci hashing constant).
+        auto x = reinterpret_cast<std::uintptr_t>(leaf);
+        x = (x >> 6) * 0x9e3779b97f4a7c15ull;
+        return slots_[(x >> 32) % kSlots];
+    }
+
+    /// Claims a free entry in `slot` and publishes (leaf, key) as Staged.
+    /// Returns nullptr when the slot is saturated — the caller falls back to
+    /// the ordinary optimistic path, which is always correct.
+    Entry* announce(Slot& slot, void* leaf, const Key& key) {
+        for (auto& e : slot.entries) {
+            CombineState expected = CombineState::Empty;
+            // Acquire pairs with the previous owner's Empty release-store:
+            // our plain writes below happen-after its last reads.
+            if (e.state.compare_exchange_strong(expected, CombineState::Staging,
+                                                std::memory_order_acquire,
+                                                std::memory_order_relaxed)) {
+                e.leaf = leaf;
+                e.key = key;
+                e.state.store(CombineState::Staged, std::memory_order_release);
+                return &e;
+            }
+        }
+        return nullptr;
+    }
+
+    /// Consumes the announcer's own resolved entry, freeing it for reuse.
+    static CombineState consume(Entry* e, CombineState verdict) {
+        e->state.store(CombineState::Empty, std::memory_order_release);
+        return verdict;
+    }
+
+private:
+    Slot slots_[kSlots];
+};
+
+/// Tree-side combining state, attached through [[no_unique_address]] and
+/// specialised to an empty struct when the policy is off — the same gating
+/// pattern as SnapTreeState, so non-combining trees stay bit-identical in
+/// layout and instruction stream. The pool is lazily published on first use:
+/// trees that never see contention never pay the footprint.
+template <typename Key, bool Present>
+struct CombineTreeState {
+    /// Per-thread retry streak at or above this value routes an insert onto
+    /// the adaptive path; 0 means every insert is adaptive (deterministic
+    /// coverage in tests).
+    std::atomic<std::uint32_t> threshold{2};
+    std::atomic<CombinePool<Key>*> pool{nullptr};
+
+    ~CombineTreeState() { delete pool.load(std::memory_order_relaxed); }
+
+    CombinePool<Key>& acquire_pool() {
+        CombinePool<Key>* p = pool.load(std::memory_order_acquire);
+        if (p) return *p;
+        auto* fresh = new CombinePool<Key>();
+        if (pool.compare_exchange_strong(p, fresh, std::memory_order_acq_rel,
+                                         std::memory_order_acquire)) {
+            return *fresh;
+        }
+        delete fresh; // lost the publication race
+        return *p;
+    }
+};
+template <typename Key>
+struct CombineTreeState<Key, false> {};
+
+/// Per-thread contention evidence, carried inside operation_hints (one per
+/// thread, unsynchronised — the same ownership model as the hint slots).
+/// Retries/restarts bump it saturating; successes on the ordinary path decay
+/// it geometrically, so a cooled-down leaf drops back to pure Alg. 1.
+template <bool Present>
+struct CombineStreak {
+    std::uint32_t streak = 0;
+
+    void bump() {
+        if (streak != 0xffffffffu) ++streak;
+    }
+    void decay() { streak >>= 1; }
+    void reset() { streak = 0; }
+};
+template <>
+struct CombineStreak<false> {
+    void bump() {}
+    void decay() {}
+    void reset() {}
+};
+
+} // namespace dtree::detail

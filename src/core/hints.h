@@ -45,6 +45,45 @@ struct SlotHints {
     void reset() { slot[0] = slot[1] = slot[2] = slot[3] = kNoSlot; }
 };
 
+// hit()/miss() below index the metrics registry by offsetting the first
+// counter of each block with the HintKind value, so the four hit and four
+// miss counters must stay contiguous and in HintKind order. Pin the layout:
+// a reordered or interleaved enum would silently mis-attribute counts.
+namespace detail {
+constexpr unsigned hint_counter(metrics::Counter base, HintKind k) {
+    return static_cast<unsigned>(base) + static_cast<unsigned>(k);
+}
+constexpr bool hint_block_matches(metrics::Counter base, HintKind k,
+                                  metrics::Counter expected) {
+    return hint_counter(base, k) == static_cast<unsigned>(expected);
+}
+} // namespace detail
+
+static_assert(detail::hint_block_matches(metrics::Counter::hint_hits_insert,
+                                         HintKind::Insert,
+                                         metrics::Counter::hint_hits_insert));
+static_assert(detail::hint_block_matches(metrics::Counter::hint_hits_insert,
+                                         HintKind::Contains,
+                                         metrics::Counter::hint_hits_contains));
+static_assert(detail::hint_block_matches(metrics::Counter::hint_hits_insert,
+                                         HintKind::Lower,
+                                         metrics::Counter::hint_hits_lower));
+static_assert(detail::hint_block_matches(metrics::Counter::hint_hits_insert,
+                                         HintKind::Upper,
+                                         metrics::Counter::hint_hits_upper));
+static_assert(detail::hint_block_matches(metrics::Counter::hint_misses_insert,
+                                         HintKind::Insert,
+                                         metrics::Counter::hint_misses_insert));
+static_assert(detail::hint_block_matches(metrics::Counter::hint_misses_insert,
+                                         HintKind::Contains,
+                                         metrics::Counter::hint_misses_contains));
+static_assert(detail::hint_block_matches(metrics::Counter::hint_misses_insert,
+                                         HintKind::Lower,
+                                         metrics::Counter::hint_misses_lower));
+static_assert(detail::hint_block_matches(metrics::Counter::hint_misses_insert,
+                                         HintKind::Upper,
+                                         metrics::Counter::hint_misses_upper));
+
 struct HintStats {
     std::uint64_t hits[4] = {0, 0, 0, 0};
     std::uint64_t misses[4] = {0, 0, 0, 0};

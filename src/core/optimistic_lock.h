@@ -117,11 +117,33 @@ public:
 
     /// Enters a write phase, blocking (spinning) until granted. This is the
     /// only blocking operation of the lock; it is used by the bottom-up node
-    /// splitting procedure (Alg. 2).
+    /// splitting procedure (Alg. 2) and by the hot-leaf combiner (§14).
+    ///
+    /// Contended waits use truncated exponential backoff and only attempt the
+    /// CAS when the version was observed even: a bare CAS loop keeps the
+    /// cache line in exclusive state on every waiter, ping-ponging it across
+    /// cores exactly on the hot leaves where start_write matters.
     void start_write() {
-        while (!try_start_write()) {
+        if (try_start_write()) return;
+        std::uint64_t delay = 1;
+        for (;;) {
+            std::uint64_t v = version_.load(std::memory_order_relaxed);
+            if (v & 1u) {
+                // Writer active: wait with loads only, no stores.
+                DTREE_METRIC_INC(lock_write_backoffs);
+                for (std::uint64_t i = 0; i < delay; ++i) cpu_relax();
+                if (delay < kMaxBackoff) delay <<= 1;
+                continue;
+            }
+            if (version_.compare_exchange_weak(v, v + 1,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_relaxed)) {
+                return;
+            }
+            // Lost the race for an even version to another writer.
             DTREE_METRIC_INC(lock_write_spins);
-            cpu_relax();
+            for (std::uint64_t i = 0; i < delay; ++i) cpu_relax();
+            if (delay < kMaxBackoff) delay <<= 1;
         }
     }
 
@@ -146,6 +168,10 @@ public:
     }
 
 private:
+    /// Backoff truncation for start_write: caps the wait at 64 cpu_relax
+    /// rounds so a freshly released lock is picked up promptly.
+    static constexpr std::uint64_t kMaxBackoff = 64;
+
     std::atomic<std::uint64_t> version_{0};
 };
 

@@ -23,6 +23,9 @@ using OurBTree = baselines::OurBTreeAdapter<StorageTuple>;
 /// Snapshot-enabled flavour (DESIGN.md §11): same tree + Relation::snapshot()
 /// for consistent reads concurrent with evaluation (soufflette --serve-probe).
 using OurBTreeSnap = baselines::OurBTreeSnapAdapter<StorageTuple>;
+/// Combining-enabled flavour (DESIGN.md §14): same tree + the contention-
+/// adaptive elimination/combining insert path (soufflette --combine).
+using OurBTreeCombine = baselines::OurBTreeCombineAdapter<StorageTuple>;
 using OurBTreeNoHints = baselines::OurBTreeNoHintsAdapter<StorageTuple>;
 using StlSet = baselines::GlobalLockAdapter<baselines::StlSetAdapter<StorageTuple>>;
 using StlHashSet = baselines::GlobalLockAdapter<baselines::StlHashSetAdapter<StorageTuple>>;

@@ -51,8 +51,12 @@ public:
         if (q >= 1.0) return max_;
         if (q < 0.0) q = 0.0;
         // Rank of the target sample, 1-based: ceil(q * count), at least 1.
-        const std::uint64_t rank = std::max<std::uint64_t>(
-            1, static_cast<std::uint64_t>(q * static_cast<double>(count_) + 0.5));
+        // A true ceiling, not round-half-up: q=0.6 over 2 samples must pick
+        // rank 2 (the larger sample), not rank 1.
+        const double target = q * static_cast<double>(count_);
+        std::uint64_t rank = static_cast<std::uint64_t>(target);
+        if (static_cast<double>(rank) < target) ++rank;
+        rank = std::clamp<std::uint64_t>(rank, 1, count_);
         std::uint64_t cum = 0;
         for (std::size_t i = 0; i < kBuckets; ++i) {
             cum += buckets_[i];

@@ -45,6 +45,8 @@ enum class Counter : unsigned {
     lock_validations_failed = 0, ///< validate()/end_read() lease mismatches
     lock_upgrades_lost,          ///< try_upgrade_to_write lost the CAS race
     lock_write_spins,            ///< failed acquisition attempts in start_write
+    lock_write_backoffs,         ///< start_write backoff rounds while the
+                                 ///< version word was observed odd (writer held)
     // core/btree.h
     btree_leaf_retries,       ///< leaf_insert returned Retry (Alg. 1 restart)
     btree_restarts,           ///< full descents abandoned on a stale lease
@@ -93,6 +95,11 @@ enum class Counter : unsigned {
     snapshot_pins,       ///< Snapshot handles pinned
     snapshot_cow_images, ///< copy-on-write node images retained
     snapshot_cow_bytes,  ///< bytes served out of the retain arena
+    // core/combine.h (hot-leaf elimination + combining, DESIGN.md §14)
+    combine_elisions,     ///< duplicate inserts answered by the read-only
+                          ///< elimination probe (zero stores, no write lock)
+    combine_batches,      ///< combiner write-lock acquisitions (batch applies)
+    combine_batched_keys, ///< announced keys consumed by combiner batches
     // net/server.h (wire protocol, DESIGN.md §13)
     net_connections,    ///< TCP connections accepted
     net_frames_in,      ///< complete frames decoded from clients
@@ -112,6 +119,7 @@ inline const char* counter_name(Counter c) {
         case Counter::lock_validations_failed: return "lock_validations_failed";
         case Counter::lock_upgrades_lost: return "lock_upgrades_lost";
         case Counter::lock_write_spins: return "lock_write_spins";
+        case Counter::lock_write_backoffs: return "lock_write_backoffs";
         case Counter::btree_leaf_retries: return "btree_leaf_retries";
         case Counter::btree_restarts: return "btree_restarts";
         case Counter::btree_leaf_splits: return "btree_leaf_splits";
@@ -151,6 +159,9 @@ inline const char* counter_name(Counter c) {
         case Counter::snapshot_pins: return "snapshot_pins";
         case Counter::snapshot_cow_images: return "snapshot_cow_images";
         case Counter::snapshot_cow_bytes: return "snapshot_cow_bytes";
+        case Counter::combine_elisions: return "combine_elisions";
+        case Counter::combine_batches: return "combine_batches";
+        case Counter::combine_batched_keys: return "combine_batched_keys";
         case Counter::net_connections: return "net_connections";
         case Counter::net_frames_in: return "net_frames_in";
         case Counter::net_frames_out: return "net_frames_out";

@@ -1,0 +1,245 @@
+// Equivalence suite for the contention-adaptive insert path (DESIGN.md §14).
+//
+// The combining policy must be pure mechanism: with WithCombining enabled and
+// the trigger threshold pinned to 0 (every insert routed through the
+// elimination probe / combining publisher), the resulting tree must iterate
+// byte-identically to the plain optimistic tree fed the same operation
+// sequence — at tiny and default block sizes, for sets and multisets,
+// sequentially and under racing writers — while the combine_* counters prove
+// which path actually ran. Compiled with DATATREE_METRICS (counter
+// assertions) and DATATREE_FAILPOINTS (the sanitizer legs inject
+// leaf_retry / validate_fail / split_delay into the adaptive path).
+
+#include "core/btree.h"
+#include "util/failpoint.h"
+#include "util/metrics.h"
+#include "util/parallel.h"
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fail = dtree::fail;
+namespace metrics = dtree::metrics;
+
+using Key = std::uint64_t;
+using Cmp = dtree::ThreeWayComparator<Key>;
+constexpr unsigned kDefaultB = dtree::detail::default_block_size<Key>();
+
+template <unsigned B>
+using PlainSet = dtree::btree_set<Key, Cmp, B>;
+template <unsigned B>
+using CombineSet = dtree::combine_btree_set<Key, Cmp, B>;
+template <unsigned B>
+using PlainMulti = dtree::btree_multiset<Key, Cmp, B>;
+template <unsigned B>
+using CombineMulti = dtree::combine_btree_multiset<Key, Cmp, B>;
+
+static_assert(!PlainSet<4>::with_combining);
+static_assert(CombineSet<4>::with_combining);
+static_assert(CombineMulti<4>::with_combining);
+
+class CombineTest : public ::testing::Test {
+public:
+    void SetUp() override {
+        fail::reset();
+        metrics::reset();
+    }
+    void TearDown() override { fail::reset(); }
+
+    /// A duplicate-heavy skewed sequence: Zipf ranks over a small universe,
+    /// scattered across the key space so hot keys live in distinct leaves.
+    static std::vector<Key> zipf_sequence(std::size_t n, std::size_t keys,
+                                          double s, std::uint64_t seed) {
+        dtree::util::Zipf zipf(keys, s);
+        dtree::util::Rng rng(seed);
+        std::vector<Key> out;
+        out.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            out.push_back(static_cast<Key>(zipf(rng)) * 2654435761ull);
+        }
+        return out;
+    }
+};
+
+// -- policy-off purity --------------------------------------------------------
+
+TEST_F(CombineTest, CombineOffTreeNeverTouchesCombineCounters) {
+    // The default tree's policy parameter is off: no elimination probe, no
+    // pool, no counters — bench.sh's fig4 gate asserts the same globally.
+    PlainSet<4> tree;
+    auto ops = zipf_sequence(20000, 1000, 1.1, 7);
+    dtree::util::parallel_blocks(
+        ops.size(), 4, [&](unsigned, std::size_t b, std::size_t e) {
+            auto h = tree.create_hints();
+            for (std::size_t i = b; i < e; ++i) tree.insert(ops[i], h);
+        });
+    EXPECT_EQ(metrics::value(metrics::Counter::combine_elisions), 0u);
+    EXPECT_EQ(metrics::value(metrics::Counter::combine_batches), 0u);
+    EXPECT_EQ(metrics::value(metrics::Counter::combine_batched_keys), 0u);
+}
+
+TEST_F(CombineTest, CombineThresholdRoundTrips) {
+    CombineSet<4> tree;
+    tree.set_combine_threshold(5);
+    EXPECT_EQ(tree.combine_threshold(), 5u);
+    tree.set_combine_threshold(0);
+    EXPECT_EQ(tree.combine_threshold(), 0u);
+}
+
+TEST_F(CombineTest, CombineHighThresholdKeepsAdaptivePathCold) {
+    // With an unreachable trigger the combining tree must behave exactly like
+    // the plain one: zero combine counters even on a duplicate storm.
+    CombineSet<4> tree;
+    tree.set_combine_threshold(1u << 30);
+    auto h = tree.create_hints();
+    for (Key k : zipf_sequence(20000, 500, 1.2, 11)) tree.insert(k, h);
+    EXPECT_EQ(metrics::value(metrics::Counter::combine_elisions), 0u);
+    EXPECT_EQ(metrics::value(metrics::Counter::combine_batches), 0u);
+}
+
+// -- sequential equivalence ---------------------------------------------------
+
+template <unsigned B>
+void run_set_equivalence(std::uint64_t seed) {
+    auto ops = CombineTest::zipf_sequence(20000, 2000, 1.0, seed);
+    PlainSet<B> plain;
+    CombineSet<B> comb;
+    comb.set_combine_threshold(0); // every insert through the adaptive path
+    auto hp = plain.create_hints();
+    auto hc = comb.create_hints();
+    for (Key k : ops) {
+        const bool a = plain.insert(k, hp);
+        const bool b = comb.insert(k, hc);
+        ASSERT_EQ(a, b) << "insert verdict diverged on key " << k;
+    }
+    ASSERT_TRUE(comb.check_invariants().empty()) << comb.check_invariants();
+    EXPECT_EQ(plain.size(), comb.size());
+    const std::vector<Key> want(plain.begin(), plain.end());
+    const std::vector<Key> got(comb.begin(), comb.end());
+    EXPECT_EQ(want, got) << "combining on must iterate byte-identically";
+    // The adaptive path really ran: duplicates answered by elision, fresh
+    // keys applied by (solo) combiner batches.
+    EXPECT_GT(metrics::value(metrics::Counter::combine_elisions), 0u);
+    EXPECT_GT(metrics::value(metrics::Counter::combine_batches), 0u);
+    EXPECT_GE(metrics::value(metrics::Counter::combine_batched_keys),
+              metrics::value(metrics::Counter::combine_batches));
+}
+
+TEST_F(CombineTest, CombineSetEquivalenceBlock3) { run_set_equivalence<3>(21); }
+TEST_F(CombineTest, CombineSetEquivalenceBlock4) { run_set_equivalence<4>(22); }
+TEST_F(CombineTest, CombineSetEquivalenceBlock5) { run_set_equivalence<5>(23); }
+TEST_F(CombineTest, CombineSetEquivalenceDefaultBlock) {
+    run_set_equivalence<kDefaultB>(24);
+}
+
+template <unsigned B>
+void run_multiset_equivalence(std::uint64_t seed) {
+    // Multisets insert duplicates for real, so the elimination probe must
+    // never elide and every operation lands through a combiner batch.
+    auto ops = CombineTest::zipf_sequence(6000, 400, 1.1, seed);
+    PlainMulti<B> plain;
+    CombineMulti<B> comb;
+    comb.set_combine_threshold(0);
+    auto hp = plain.create_hints();
+    auto hc = comb.create_hints();
+    for (Key k : ops) {
+        const bool a = plain.insert(k, hp);
+        const bool b = comb.insert(k, hc);
+        ASSERT_EQ(a, b);
+    }
+    ASSERT_TRUE(comb.check_invariants().empty()) << comb.check_invariants();
+    EXPECT_EQ(plain.size(), comb.size());
+    EXPECT_EQ(comb.size(), ops.size()) << "a multiset keeps every duplicate";
+    const std::vector<Key> want(plain.begin(), plain.end());
+    const std::vector<Key> got(comb.begin(), comb.end());
+    EXPECT_EQ(want, got);
+    EXPECT_EQ(metrics::value(metrics::Counter::combine_elisions), 0u)
+        << "elision is a set-only optimisation";
+    EXPECT_GT(metrics::value(metrics::Counter::combine_batches), 0u);
+}
+
+TEST_F(CombineTest, CombineMultisetEquivalenceBlock3) {
+    run_multiset_equivalence<3>(31);
+}
+TEST_F(CombineTest, CombineMultisetEquivalenceBlock4) {
+    run_multiset_equivalence<4>(32);
+}
+TEST_F(CombineTest, CombineMultisetEquivalenceDefaultBlock) {
+    run_multiset_equivalence<kDefaultB>(33);
+}
+
+// -- concurrent equivalence: 1T oracle vs 8T racing writers ------------------
+
+template <unsigned B>
+void run_concurrent_equivalence(std::uint64_t seed, std::uint32_t threshold) {
+    constexpr unsigned kThreads = 8;
+    constexpr std::size_t kPerThread = 5000;
+    std::vector<std::vector<Key>> input(kThreads);
+    std::set<Key> oracle;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        input[t] = CombineTest::zipf_sequence(kPerThread, 512, 1.2,
+                                              seed * 100 + t);
+        oracle.insert(input[t].begin(), input[t].end());
+    }
+
+    CombineSet<B> tree;
+    tree.set_combine_threshold(threshold);
+    dtree::util::parallel_blocks(
+        kThreads, kThreads, [&](unsigned tid, std::size_t, std::size_t) {
+            auto h = tree.create_hints();
+            for (Key k : input[tid]) tree.insert(k, h);
+        });
+
+    const std::string err = tree.check_invariants();
+    ASSERT_TRUE(err.empty()) << err;
+    const std::vector<Key> got(tree.begin(), tree.end());
+    const std::vector<Key> want(oracle.begin(), oracle.end());
+    ASSERT_EQ(got, want)
+        << "racing adaptive inserts diverged from the sequential oracle";
+}
+
+TEST_F(CombineTest, CombineConcurrentStormBlock3) {
+    run_concurrent_equivalence<3>(41, 0);
+    EXPECT_GT(metrics::value(metrics::Counter::combine_elisions), 0u);
+    EXPECT_GT(metrics::value(metrics::Counter::combine_batches), 0u);
+}
+TEST_F(CombineTest, CombineConcurrentStormBlock4) {
+    run_concurrent_equivalence<4>(42, 0);
+}
+TEST_F(CombineTest, CombineConcurrentStormDefaultBlock) {
+    run_concurrent_equivalence<kDefaultB>(43, 0);
+}
+TEST_F(CombineTest, CombineConcurrentStormDefaultThreshold) {
+    // Leave the trigger at its default: the adaptive path engages only when
+    // the per-thread retry streak crosses it, and correctness must not
+    // depend on which inserts happened to take which path.
+    CombineSet<4> probe; // documents the default under test
+    run_concurrent_equivalence<4>(44, probe.combine_threshold());
+}
+
+// -- fault-injected adaptive path --------------------------------------------
+
+TEST_F(CombineTest, CombineInjectedStormStaysEquivalent) {
+    // leaf_retry + validate_fail force the optimistic prelude to keep
+    // failing (bumping the streak and re-entering the adaptive path);
+    // split_delay stretches the combiner's split windows.
+    fail::set_seed(51);
+    fail::set_probability(fail::Site::leaf_retry, 0.05);
+    fail::set_probability(fail::Site::validate_fail, 0.02);
+    fail::set_probability(fail::Site::split_delay, 0.25);
+    fail::set_delay(fail::Site::split_delay, 300);
+    run_concurrent_equivalence<4>(52, 1);
+    EXPECT_GT(fail::fires(fail::Site::leaf_retry), 0u);
+    EXPECT_GT(fail::fires(fail::Site::validate_fail), 0u);
+    EXPECT_GT(metrics::value(metrics::Counter::combine_batches), 0u)
+        << "the injected retries never drove an insert into the adaptive path";
+}
+
+} // namespace

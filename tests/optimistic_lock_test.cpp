@@ -3,10 +3,12 @@
 // proving writer exclusion and reader validation.
 
 #include "core/optimistic_lock.h"
+#include "util/metrics.h"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -248,6 +250,48 @@ TEST(AbortWriteRollback, LeaseSurvivesConcurrentAbortChurn) {
     EXPECT_TRUE(lock.validate(lease))
         << "after all aborts completed, the lease must be valid again";
     EXPECT_GT(validated, 0u);
+}
+
+// -- start_write backoff regression ------------------------------------------
+// A writer blocked behind another writer must WAIT (load-only, truncated
+// exponential backoff, counted by lock_write_backoffs) instead of hammering
+// the version word. The pre-backoff loop counted one lock_write_spins per
+// polling iteration — tens of millions across a 100 ms hold — and, worse,
+// kept the cache line in contention the whole time. This test fails against
+// that loop twice over: lock_write_backoffs stays zero (the counter is never
+// incremented) and the combined counter total explodes past the bound.
+
+TEST(OptimisticLockConcurrent, BlockedWriterBacksOffInsteadOfSpinning) {
+    if (!dtree::metrics::enabled()) {
+        GTEST_SKIP() << "requires a DATATREE_METRICS build";
+    }
+    using dtree::metrics::Counter;
+    OptimisticReadWriteLock lock;
+    dtree::metrics::reset();
+
+    lock.start_write();
+    std::atomic<bool> acquired{false};
+    std::thread contender([&] {
+        lock.start_write(); // blocks until the holder releases
+        acquired.store(true);
+        lock.end_write();
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    EXPECT_FALSE(acquired.load()) << "contender acquired a held write lock";
+    lock.end_write();
+    contender.join();
+    EXPECT_TRUE(acquired.load());
+
+    const auto spins = dtree::metrics::value(Counter::lock_write_spins);
+    const auto backoffs = dtree::metrics::value(Counter::lock_write_backoffs);
+    EXPECT_GT(backoffs, 0u)
+        << "a blocked writer must count its bounded wait rounds";
+    // Each wait round ends in a growing cpu_relax burst (capped at 64), so
+    // 100 ms of blocking fits in well under a million rounds; the old
+    // one-count-per-poll loop exceeds this bound by more than an order of
+    // magnitude.
+    EXPECT_LT(spins + backoffs, 1'000'000u)
+        << "writer wait loop is spinning unthrottled";
 }
 
 // try_start_write must also exclude concurrent writers.

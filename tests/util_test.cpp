@@ -250,6 +250,32 @@ TEST(HistogramTest, SmallValuesAreExact) {
     EXPECT_DOUBLE_EQ(h.mean(), 5.5);
 }
 
+TEST(HistogramTest, QuantileRankIsACeiling) {
+    // Regression: the rank of quantile q over n samples is ceil(q*n), never
+    // round-half-up. With samples {1, 10}, q=0.6 targets rank ceil(1.2) = 2 —
+    // the larger sample. The old rank (truncate q*n + 0.5) picked rank 1 and
+    // reported p60 = 1 for this population.
+    Histogram h;
+    h.record(1);
+    h.record(10);
+    EXPECT_EQ(h.quantile(0.6), 10u);
+    // q landing exactly on a sample boundary stays at that sample.
+    EXPECT_EQ(h.quantile(0.5), 1u);
+    EXPECT_EQ(h.quantile(1.0), 10u);
+}
+
+TEST(HistogramTest, TailQuantileOfSmallPopulationIsTheMax) {
+    // ceil(0.99 * n) == n for every n <= 99: the p99 of a sub-100-sample
+    // population is its maximum. Round-half-up gave rank n-1 for n in
+    // [51, 99] and under-reported the tail (visible here at n = 60, where
+    // ranks 59 and 60 land in different log-linear buckets).
+    for (std::uint64_t n : {2, 10, 60, 99}) {
+        Histogram h;
+        for (std::uint64_t v = 1; v <= n; ++v) h.record(v);
+        EXPECT_EQ(h.p99(), h.max()) << "n = " << n;
+    }
+}
+
 TEST(HistogramTest, QuantileErrorIsBounded) {
     // Log-linear bucketing promises <= 1/16 relative error above the linear
     // range. Check a uniform ramp at several magnitudes.
