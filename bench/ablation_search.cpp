@@ -11,24 +11,46 @@
 // fresh tree is allocation- and page-fault-noisy, and best-of isolates the
 // kernel difference the ablation is after.
 //
+// A fourth column runs leaf layout v2 (WithFingerprints, DESIGN.md §15) on
+// top of the SimdSearch kernel, and a second table measures what v2 is FOR:
+// miss-dominated membership probes (in-range keys that are never inserted),
+// where the fingerprint byte-compare answers without loading a single key.
+// scripts/bench.sh asserts the v2 probe cells beat the v1 simd baseline at
+// the default BlockSize.
+//
 // Under a metrics build the JSON carries search_simd_probes /
-// search_scalar_fallbacks, pinning that the simd cells actually exercised
-// the vector kernel (scripts/bench.sh asserts on it).
+// search_scalar_fallbacks — pinning that the simd cells actually exercised
+// the vector kernel — and fp_probes / fp_skips / append_inserts for the v2
+// cells (scripts/bench.sh asserts on both).
 
 #include "bench/common.h"
 
 #include "core/btree.h"
+
+#include <cstdlib>
+#include <type_traits>
+#include <utility>
 
 namespace {
 
 using namespace dtree;
 using namespace dtree::bench;
 
-template <typename Key, unsigned BlockSize, typename Search>
+/// The tree a cell runs: v1 (sorted leaves) or leaf layout v2 (§15).
+template <typename Key, unsigned BlockSize, typename Search, bool WithFp>
+using CellTree =
+    std::conditional_t<WithFp,
+                       fp_btree_set<Key, ThreeWayComparator<Key>, BlockSize,
+                                    Search>,
+                       btree_set<Key, ThreeWayComparator<Key>, BlockSize,
+                                 Search>>;
+
+template <typename Key, unsigned BlockSize, typename Search,
+          bool WithFp = false>
 double insert_throughput(const std::vector<Key>& keys, unsigned reps) {
     double best = 0.0;
     for (unsigned r = 0; r < reps; ++r) {
-        btree_set<Key, ThreeWayComparator<Key>, BlockSize, Search> t;
+        CellTree<Key, BlockSize, Search, WithFp> t;
         auto h = t.create_hints();
         util::Timer timer;
         for (const auto& k : keys) t.insert(k, h);
@@ -36,6 +58,30 @@ double insert_throughput(const std::vector<Key>& keys, unsigned reps) {
             static_cast<double>(keys.size()) / timer.elapsed_s() / 1e6;
         if (mps > best) best = mps;
     }
+    return best;
+}
+
+/// contains() throughput against a pre-built tree (build excluded from the
+/// timing). `sink` defeats dead-code elimination across reps.
+template <typename Key, unsigned BlockSize, typename Search, bool WithFp>
+double probe_throughput(const std::vector<Key>& keys,
+                        const std::vector<Key>& probes, unsigned reps) {
+    double best = 0.0;
+    std::size_t sink = 0;
+    for (unsigned r = 0; r < reps; ++r) {
+        CellTree<Key, BlockSize, Search, WithFp> t;
+        {
+            auto h = t.create_hints();
+            for (const auto& k : keys) t.insert(k, h);
+        }
+        auto h = t.create_hints();
+        util::Timer timer;
+        for (const auto& k : probes) sink += t.contains(k, h) ? 1 : 0;
+        const double mps =
+            static_cast<double>(probes.size()) / timer.elapsed_s() / 1e6;
+        if (mps > best) best = mps;
+    }
+    if (sink == static_cast<std::size_t>(-1)) std::abort(); // keep `sink` live
     return best;
 }
 
@@ -52,6 +98,25 @@ void run(const std::string& kind, const std::vector<Key>& random,
     table.add(kind + " simd" + suffix,
               insert_throughput<Key, BlockSize, detail::SimdSearch>(random,
                                                                     reps));
+    table.add(kind + " fp" + suffix,
+              insert_throughput<Key, BlockSize, detail::SimdSearch, true>(
+                  random, reps));
+}
+
+/// One v1-vs-v2 probe pair at a given BlockSize: both cells run the
+/// SimdSearch kernel, so the delta is purely the leaf layout (fingerprint
+/// probe vs in-node lower-bound search).
+template <typename Key, unsigned BlockSize>
+void run_probe(const std::string& kind, const std::vector<Key>& keys,
+               const std::vector<Key>& probes, util::SeriesTable& table,
+               unsigned reps) {
+    const std::string suffix = ", " + std::to_string(BlockSize) + " keys";
+    table.add(kind + " probe simd" + suffix,
+              probe_throughput<Key, BlockSize, detail::SimdSearch, false>(
+                  keys, probes, reps));
+    table.add(kind + " probe fp" + suffix,
+              probe_throughput<Key, BlockSize, detail::SimdSearch, true>(
+                  keys, probes, reps));
 }
 
 std::vector<std::uint64_t> random_u64(std::size_t n) {
@@ -60,6 +125,47 @@ std::vector<std::uint64_t> random_u64(std::size_t n) {
     util::Rng rng(11);
     util::shuffle(keys, rng);
     return keys;
+}
+
+/// The miss-dominated probe workload: insert every even value, probe every
+/// odd one — 100% misses that still land INSIDE leaf key ranges, so the
+/// leaf-level membership machinery (not the descent) decides each probe.
+std::vector<std::uint64_t> even_u64(std::size_t n) {
+    std::vector<std::uint64_t> keys(n);
+    for (std::size_t i = 0; i < n; ++i) keys[i] = 2 * i;
+    util::Rng rng(12);
+    util::shuffle(keys, rng);
+    return keys;
+}
+
+std::vector<std::uint64_t> odd_u64(std::size_t n) {
+    std::vector<std::uint64_t> keys(n);
+    for (std::size_t i = 0; i < n; ++i) keys[i] = 2 * i + 1;
+    util::Rng rng(13);
+    util::shuffle(keys, rng);
+    return keys;
+}
+
+/// Same pattern on 2D points: (x, 2y) inserted, (x, 2y+1) probed.
+std::pair<std::vector<Point>, std::vector<Point>> even_odd_points(
+    std::size_t n) {
+    std::size_t side = 1;
+    while (side * side < n) ++side;
+    std::vector<Point> ins, probe;
+    ins.reserve(side * side);
+    probe.reserve(side * side);
+    for (std::uint64_t x = 0; x < side; ++x) {
+        for (std::uint64_t y = 0; y < side; ++y) {
+            ins.push_back(Point{x, 2 * y});
+            probe.push_back(Point{x, 2 * y + 1});
+        }
+    }
+    ins.resize(n);
+    probe.resize(n);
+    util::Rng rng(14);
+    util::shuffle(ins, rng);
+    util::shuffle(probe, rng);
+    return {std::move(ins), std::move(probe)};
 }
 
 } // namespace
@@ -95,7 +201,24 @@ int main(int argc, char** argv) {
     run<std::uint64_t, 128>("u64", ints, table, reps);
     table.print();
 
+    // Miss-dominated membership probes at the keys' default BlockSizes —
+    // the workload leaf layout v2 targets (the evaluator's head-FULL filter
+    // is mostly misses once a fixpoint saturates). scripts/bench.sh asserts
+    // the fp cells beat their simd siblings here.
+    util::SeriesTable probes(
+        "[ablation] miss-dominated membership probes, M probes/s", "config");
+    probes.set_x({std::to_string(n) + " probes"});
+    {
+        auto [pins, pmiss] = even_odd_points(n);
+        run_probe<Point, detail::default_block_size<Point>()>(
+            "tuple", pins, pmiss, probes, reps);
+    }
+    run_probe<std::uint64_t, detail::default_block_size<std::uint64_t>()>(
+        "u64", even_u64(n), odd_u64(n), probes, reps);
+    probes.print();
+
     JsonReport report("ablation_search", cli);
     report.add_table(table);
+    report.add_table(probes);
     return report.write() ? 0 : 1;
 }

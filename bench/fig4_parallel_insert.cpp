@@ -4,6 +4,7 @@
 //                                      [--sched=blocks|steal] [--grain=N]
 //                                      [--search=default|linear|binary|simd]
 //                                      [--json=FILE] [--smoke] [--combine]
+//                                      [--fingerprints]
 //
 // --json writes the machine-readable run record (see bench/common.h);
 // --smoke runs only the single-socket sections (CI smoke job).
@@ -70,28 +71,13 @@ std::vector<Point> make_input(std::size_t n, bool ordered, unsigned threads) {
     return pts;
 }
 
-/// In-node search policy override for the our-btree rows (--search=). The
-/// adapters stay on the canonical row names so JSON consumers see the same
-/// schema whichever kernel ran; the `config` section records the choice.
-enum class SearchMode { Default, Linear, Binary, Simd };
+/// In-node search policy override for the our-btree rows (--search=; parsed
+/// by bench::parse_storage_policy). The adapters stay on the canonical row
+/// names so JSON consumers see the same schema whichever kernel ran; the
+/// `config` section records the choice.
+using SearchMode = StoragePolicy::SearchMode;
 
-bool parse_search(const std::string& s, SearchMode& out) {
-    if (s.empty() || s == "default") {
-        out = SearchMode::Default;
-    } else if (s == "linear") {
-        out = SearchMode::Linear;
-    } else if (s == "binary") {
-        out = SearchMode::Binary;
-    } else if (s == "simd") {
-        out = SearchMode::Simd;
-    } else {
-        return false;
-    }
-    return true;
-}
-
-SearchMode g_search = SearchMode::Default;
-bool g_combine = false;
+StoragePolicy g_policy;
 
 template <typename Search, bool UseHints>
 using OurBTreeWith = BTreeAdapterImpl<
@@ -119,7 +105,7 @@ double run_one(const std::vector<Point>& pts, unsigned threads) {
 
 template <bool UseHints>
 double run_our(const std::vector<Point>& pts, unsigned threads) {
-    switch (g_search) {
+    switch (g_policy.search) {
         case SearchMode::Linear:
             return run_one<OurBTreeWith<detail::LinearSearch, UseHints>>(pts, threads);
         case SearchMode::Binary:
@@ -147,11 +133,20 @@ void run_section(const char* title, std::size_t n, bool ordered,
         const auto pts = make_input(n, ordered, t);
         table.add("btree (n/h)", run_our<false>(pts, t));
     }
-    if (g_combine) {
+    if (g_policy.combine) {
         for (unsigned t : threads) {
             const auto pts = make_input(n, ordered, t);
             table.add("btree (comb)",
                       run_one<OurBTreeCombineAdapter<Point>>(pts, t));
+        }
+    }
+    if (g_policy.fingerprints) {
+        // Leaf layout v2 (DESIGN.md §15). The default sweep never
+        // instantiates the policy, which is what lets scripts/bench.sh
+        // assert all-zero fingerprint counters on the default record.
+        for (unsigned t : threads) {
+            const auto pts = make_input(n, ordered, t);
+            table.add("btree (fp)", run_one<OurBTreeFpAdapter<Point>>(pts, t));
         }
     }
     for (unsigned t : threads) {
@@ -189,13 +184,7 @@ int main(int argc, char** argv) {
     if (const std::size_t grain = cli.get_u64("grain", 0)) {
         dtree::runtime::set_default_grain(grain);
     }
-    const std::string search = cli.get_str("search", "");
-    if (search != "1" && !parse_search(search, g_search)) {
-        std::fprintf(stderr, "unknown --search=%s (default|linear|binary|simd)\n",
-                     search.c_str());
-        return 2;
-    }
-    g_combine = cli.get_bool("combine");
+    if (!parse_storage_policy(cli, g_policy)) return 2;
 
     const auto single = cli.get_list("threads", {1, 2, 4, 8, 12, 16});
     const auto multi = cli.get_list("threads", {1, 2, 4, 8, 12, 16, 20, 24, 28, 32});

@@ -3,11 +3,14 @@
 // (54%/52% for Doop at 1/16 threads; 77%/76% for the EC2 analysis).
 //
 //   ./build/bench/table2_stats [--full] [--scale=N] [--json=FILE]
-//                              [--combine[=N]]
+//                              [--combine[=N]] [--fingerprints]
 //
 // --combine[=N] runs both workloads on the combining-enabled storage
 // (DESIGN.md §14) with trigger threshold N (default: the tree's own); the
 // Zipf-skewed doop-like 16-thread leg is where the hot-leaf path fires.
+// --fingerprints runs them on the leaf-layout-v2 storage (DESIGN.md §15)
+// instead: membership tests resolve through per-leaf fingerprint probes.
+// The two policies pick different storages, so they are mutually exclusive.
 
 #include "bench/common.h"
 
@@ -29,19 +32,17 @@ struct Row {
     double hint_rate_16t = 0;
 };
 
-/// --combine[=N]: when set, both workloads run on the combining storage with
-/// this trigger threshold (no value keeps the tree's default).
-bool g_combine = false;
-std::uint32_t g_combine_threshold = 0;
-bool g_combine_threshold_set = false;
+/// Storage policy (--combine[=N] / --fingerprints); parsed by
+/// bench::parse_storage_policy in main.
+dtree::bench::StoragePolicy g_policy;
 
 template <typename StorageT>
 Row measure(const Workload& w) {
     Row row;
     {
         Engine<StorageT> engine(compile(w.source));
-        if (g_combine_threshold_set) {
-            engine.set_combine_threshold(g_combine_threshold);
+        if (g_policy.combine_threshold_set) {
+            engine.set_combine_threshold(g_policy.combine_threshold);
         }
         for (const auto& [rel, facts] : w.facts) engine.add_facts(rel, facts);
         engine.run(1);
@@ -50,8 +51,8 @@ Row measure(const Workload& w) {
     }
     {
         Engine<StorageT> engine(compile(w.source));
-        if (g_combine_threshold_set) {
-            engine.set_combine_threshold(g_combine_threshold);
+        if (g_policy.combine_threshold_set) {
+            engine.set_combine_threshold(g_policy.combine_threshold);
         }
         for (const auto& [rel, facts] : w.facts) engine.add_facts(rel, facts);
         engine.run(16);
@@ -61,8 +62,9 @@ Row measure(const Workload& w) {
 }
 
 Row measure(const Workload& w) {
-    return g_combine ? measure<storage::OurBTreeCombine>(w)
-                     : measure<storage::OurBTree>(w);
+    if (g_policy.fingerprints) return measure<storage::OurBTreeFp>(w);
+    return g_policy.combine ? measure<storage::OurBTreeCombine>(w)
+                            : measure<storage::OurBTree>(w);
 }
 
 void print_row(const char* name, double a, double b) {
@@ -75,11 +77,12 @@ int main(int argc, char** argv) {
     dtree::util::Cli cli(argc, argv);
     const bool full = cli.get_bool("full");
     const std::size_t scale = cli.get_u64("scale", full ? 20000 : 1200);
-    g_combine = cli.has("combine");
-    if (g_combine && cli.get_str("combine", "1") != "1") {
-        g_combine_threshold =
-            static_cast<std::uint32_t>(cli.get_u64("combine", 2));
-        g_combine_threshold_set = true;
+    if (!dtree::bench::parse_storage_policy(cli, g_policy)) return 2;
+    if (g_policy.combine && g_policy.fingerprints) {
+        std::fprintf(stderr,
+                     "--combine and --fingerprints pick different storages; "
+                     "pass one\n");
+        return 2;
     }
 
     const Workload doop = make_doop_like(scale, 7);

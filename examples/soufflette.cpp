@@ -29,6 +29,10 @@
 // elimination/combining after N consecutive retries (default 2; N=0 routes
 // every insert through the adaptive path). Ignored under --serve-probe /
 // --listen, which select the snapshot storage instead.
+// --fingerprints switches to the leaf-layout-v2 storage (DESIGN.md §15):
+// membership tests resolve through per-leaf SIMD fingerprint probes and
+// in-leaf inserts append instead of shifting. Mutually exclusive with
+// --combine; ignored under --serve-probe / --listen like --combine.
 // --listen[=PORT] starts the TCP wire-protocol server (DESIGN.md §13) after
 // the initial fixpoint: concurrent sessions answer QUERY/RANGE/COUNT against
 // pinned snapshots while COMMITs group-commit through one writer thread;
@@ -53,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "datalog/io.h"
 #include "datalog/program.h"
 #include "datalog/service.h"
@@ -67,6 +72,11 @@
 namespace {
 
 using namespace dtree::datalog;
+
+/// Storage policy (--combine[=N] / --fingerprints); parsed once in main by
+/// bench::parse_storage_policy, consulted by the engine dispatch below and
+/// the threshold plumbing in run_soufflette.
+dtree::bench::StoragePolicy g_policy;
 
 /// What one serve-probe reader observed. Merged and reported after the run.
 struct ProbeTally {
@@ -309,14 +319,11 @@ int run_soufflette(const std::string& program_path, const dtree::util::Cli& cli,
         engine.set_scheduler_mode(mode);
     }
     if (grain) engine.set_grain(grain);
-    if (cli.has("combine")) {
-        // Bare --combine (the CLI stores "1" for valueless flags) keeps the
-        // tree's default trigger threshold; --combine=N overrides it. No-op
-        // on storages without the combining policy (e.g. under --listen).
-        if (cli.get_str("combine", "1") != "1") {
-            engine.set_combine_threshold(
-                static_cast<std::uint32_t>(cli.get_u64("combine", 2)));
-        }
+    if (g_policy.combine_threshold_set) {
+        // Bare --combine keeps the tree's default trigger threshold;
+        // --combine=N overrides it. No-op on storages without the combining
+        // policy (e.g. under --listen).
+        engine.set_combine_threshold(g_policy.combine_threshold);
     }
 
     for (const auto& decl : prog.decls) {
@@ -555,7 +562,8 @@ int main(int argc, char** argv) {
                      "usage: %s <program.dl> [--facts=DIR] [--output=DIR] "
                      "[--jobs=N] [--sched=blocks|steal] [--grain=N] "
                      "[--serve[=FILE]] [--serve-probe[=N]] [--listen[=PORT]] "
-                     "[--combine[=N]] [--stats] [--profile[=FILE]]\n",
+                     "[--combine[=N]] [--fingerprints] [--stats] "
+                     "[--profile[=FILE]]\n",
                      argv[0]);
         return 2;
     }
@@ -566,19 +574,31 @@ int main(int argc, char** argv) {
         : 0;
 
     try {
+        if (!dtree::bench::parse_storage_policy(cli, g_policy)) return 2;
+        if (g_policy.combine && g_policy.fingerprints) {
+            std::fprintf(stderr,
+                         "--combine and --fingerprints pick different "
+                         "storages; pass one\n");
+            return 2;
+        }
         // Snapshot-capable storage whenever someone will read concurrently
         // with evaluation: probe readers or wire-protocol sessions.
         if (probe_threads || cli.has("listen")) {
-            if (cli.has("combine")) {
+            if (g_policy.combine || g_policy.fingerprints) {
                 std::fprintf(stderr,
-                             "note: --combine is ignored with --serve-probe/"
-                             "--listen (snapshot storage selected)\n");
+                             "note: --combine/--fingerprints are ignored with "
+                             "--serve-probe/--listen (snapshot storage "
+                             "selected)\n");
             }
             return run_soufflette<Engine<storage::OurBTreeSnap>>(
                 program_path, cli, probe_threads);
         }
-        if (cli.has("combine")) {
+        if (g_policy.combine) {
             return run_soufflette<Engine<storage::OurBTreeCombine>>(
+                program_path, cli, 0);
+        }
+        if (g_policy.fingerprints) {
+            return run_soufflette<Engine<storage::OurBTreeFp>>(
                 program_path, cli, 0);
         }
         return run_soufflette<DefaultEngine>(program_path, cli, 0);

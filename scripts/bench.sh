@@ -38,7 +38,13 @@
 # combine_batched_keys — and, per paired cell, the combining tree must not
 # retry more than the baseline; the fig4 record doubles as the combining-OFF
 # leg: its combine counters must all be zero, proving the default trees never
-# instantiate the policy (DESIGN.md §14).
+# instantiate the policy (DESIGN.md §14). The fingerprint record
+# (BENCH_fig4_fp.json, the --fingerprints leg) must show leaf layout v2 at
+# work — nonzero fp_probes / fp_skips / append_inserts — and the ablation's
+# probe table must show the v2 fingerprint cells beating the v1 simd cells
+# by >= 15% on miss-dominated membership probes; the default fig4/fig3/
+# table2 records double as the fingerprints-OFF leg with all-zero fp
+# counters (DESIGN.md §15).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -115,6 +121,12 @@ run fig4_parallel_insert BENCH_fig4.json  "${FIG4_ARGS[@]}"
 # asserts on (the default record's Point trees deliberately run LinearSearch;
 # see DefaultSearch's measured thresholds in core/btree_detail.h).
 run fig4_parallel_insert BENCH_fig4_simd.json "${FIG4_ARGS[@]}" --search=simd
+# Leaf-layout-v2 companion record (DESIGN.md §15): the same sweep with a
+# "btree (fp)" row running the fingerprint/append-zone tree. The fingerprint
+# gates below assert this record really probed and appended, while the
+# default fig4/fig3/table2 records stay all-zero on every fp counter —
+# the policy-off trees never instantiate the layout.
+run fig4_parallel_insert BENCH_fig4_fp.json "${FIG4_ARGS[@]}" --fingerprints
 run table2_stats        BENCH_table2.json "${TABLE2_ARGS[@]}"
 run fig5_datalog        BENCH_fig5.json   "${FIG5_ARGS[@]}"
 run ablation_search     BENCH_ablation_search.json "${ABLATION_ARGS[@]}"
@@ -137,7 +149,7 @@ import json, sys
 out = sys.argv[1]
 records = {}
 for name in ("BENCH_fig3.json", "BENCH_fig4.json", "BENCH_fig4_simd.json",
-             "BENCH_table2.json", "BENCH_fig5.json",
+             "BENCH_fig4_fp.json", "BENCH_table2.json", "BENCH_fig5.json",
              "BENCH_ablation_search.json", "BENCH_zipf.json",
              "BENCH_snapshot.json", "BENCH_serve.json", "BENCH_net.json"):
     with open(f"{out}/{name}") as f:
@@ -174,6 +186,46 @@ def check_kernel(tag, mm):
 check_kernel("fig4_simd", records["BENCH_fig4_simd.json"]["metrics"])
 # The ablation's simd cells must likewise have exercised the column kernel.
 check_kernel("ablation", records["BENCH_ablation_search.json"]["metrics"])
+
+# Leaf layout v2 (DESIGN.md §15). The --fingerprints fig4 leg and the
+# ablation's fp cells must show the fingerprint machinery at work: probes
+# issued, misses answered without key loads (fp_skips), and in-leaf inserts
+# going through the append zone. fp_false_hits is workload-dependent (a
+# 1-byte hash may legitimately never collide in a small run), so it is
+# reported but not gated.
+fp_rec = records["BENCH_fig4_fp.json"]["metrics"]
+abl = records["BENCH_ablation_search.json"]["metrics"]
+for tag, mm in (("fig4_fp", fp_rec), ("ablation", abl)):
+    for counter in ("fp_probes", "fp_skips", "append_inserts"):
+        assert mm.get(counter, 0) > 0, f"{tag} counter {counter} is zero"
+    print(f"   {tag} fp_probes = {mm['fp_probes']}, fp_skips = "
+          f"{mm['fp_skips']}, fp_false_hits = {mm.get('fp_false_hits', 0)}, "
+          f"append_inserts = {mm['append_inserts']}, leaf_consolidations = "
+          f"{mm.get('leaf_consolidations', 0)}")
+# Fingerprint-off legs: the default fig4/fig3/table2 records run policy-off
+# trees whose FpState is an empty member — every fp counter must be zero.
+for name in ("BENCH_fig4.json", "BENCH_fig3.json", "BENCH_table2.json"):
+    moff = records[name]["metrics"]
+    for counter in ("fp_probes", "fp_skips", "fp_false_hits",
+                    "append_inserts", "leaf_consolidations"):
+        assert moff.get(counter, 0) == 0, \
+            f"{name} (fingerprints-off) counter {counter} is nonzero"
+print("   fig4/fig3/table2 (fingerprints-off) fp counters all zero")
+
+# The point of the layout: on miss-dominated membership probes at the
+# default BlockSize, the v2 fingerprint probe must beat the v1 SimdSearch
+# column baseline by >= 15%.
+ptab = next(t for t in records["BENCH_ablation_search.json"]["throughput"]
+            if "membership probes" in t["title"])
+for kind in ("tuple", "u64"):
+    simd = next(v for n, v in ptab["series"].items()
+                if n.startswith(f"{kind} probe simd"))[0]
+    fp = next(v for n, v in ptab["series"].items()
+              if n.startswith(f"{kind} probe fp"))[0]
+    assert fp >= 1.15 * simd, \
+        f"ablation {kind} probe: fp {fp:.2f} M/s < 1.15x simd {simd:.2f} M/s"
+    print(f"   ablation {kind} probes: simd {simd:.2f} -> fp {fp:.2f} M/s "
+          f"({fp / simd:.2f}x)")
 
 table2 = records["BENCH_table2.json"]
 m2 = table2["metrics"]

@@ -39,7 +39,10 @@ CONC_FILTER='Torture|OptimisticLock|AbortWrite|Concurrent|SmallNode|Hint|Schedul
 # The TSan leg doubles as the scalar-fallback proof for SimdSearch: TSan
 # builds force DTREE_SIMD_VECTOR off (src/core/race_access.h), so the same
 # equivalence + torture tests run the branch-free Access::load column scan
-# and must still pass — the data-race-free path is fully covered.
+# and must still pass — the data-race-free path is fully covered. The same
+# goes for leaf layout v2 (DESIGN.md §15): the Fp* equivalence and torture
+# variants run the scalar fingerprint scan here, with TSan checking the
+# append-zone publish ordering (key elements before the fp byte).
 
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1 second_deadlock_stack=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"

@@ -152,7 +152,9 @@ public:
     static constexpr bool thread_safe = ThreadSafe;
     static constexpr bool ordered = true;
     static const char* name() {
-        if constexpr (ThreadSafe) {
+        if constexpr (Tree::with_fingerprints) {
+            return ThreadSafe ? "btree (fp)" : "seq btree (fp)";
+        } else if constexpr (ThreadSafe) {
             return UseHints ? "btree" : "btree (n/h)";
         } else {
             return UseHints ? "seq btree" : "seq btree (n/h)";
@@ -338,6 +340,9 @@ using OurBTreeSnapAdapter = BTreeAdapterImpl<snapshot_btree_set<Key>, true, true
 /// elimination/combining insert path (§14).
 template <typename Key>
 using OurBTreeCombineAdapter = BTreeAdapterImpl<combine_btree_set<Key>, true, true>;
+/// Leaf-layout-v2 flavour: fingerprint membership + append-zone inserts (§15).
+template <typename Key>
+using OurBTreeFpAdapter = BTreeAdapterImpl<fp_btree_set<Key>, true, true>;
 template <typename Key>
 using OurBTreeNoHintsAdapter = BTreeAdapterImpl<btree_set<Key>, false, true>;
 template <typename Key>

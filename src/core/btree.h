@@ -109,14 +109,21 @@ template <typename Key,
           bool AllowDuplicates = false,
           bool WithSnapshots = false,
           bool WithCombining = false,
+          bool WithFingerprints = false,
           typename Alloc = NewDeleteNodeAlloc<
               Key, BlockSize, Access,
-              detail::search_wants_column<Search>(), WithSnapshots>>
+              detail::search_wants_column<Search>(), WithSnapshots,
+              WithFingerprints>>
 class btree {
     static_assert(BlockSize >= 3, "nodes must hold at least three keys");
     static_assert(!WithCombining || Access::concurrent,
                   "the elimination/combining path exists to absorb concurrent "
                   "write contention; sequential trees have none");
+    static_assert(!WithFingerprints ||
+                      requires(const Key& k) { dtree::key_fingerprint(k); },
+                  "leaf layout v2 needs a key_fingerprint overload for this "
+                  "key type (core/tuple.h provides arithmetic keys and "
+                  "Tuple<Arity>)");
     static_assert(detail::search_policy_viable<Search, Key, Compare>(),
                   "the configured Search policy cannot index this (Key, "
                   "Compare) pair: SimdSearch needs a key with an arithmetic "
@@ -131,10 +138,10 @@ class btree {
     /// pay zero maintenance.
     static constexpr bool with_column = detail::search_wants_column<Search>();
 
-    using NodeT =
-        detail::Node<Key, BlockSize, Access, with_column, WithSnapshots>;
-    using InnerT =
-        detail::InnerNode<Key, BlockSize, Access, with_column, WithSnapshots>;
+    using NodeT = detail::Node<Key, BlockSize, Access, with_column,
+                               WithSnapshots, WithFingerprints>;
+    using InnerT = detail::InnerNode<Key, BlockSize, Access, with_column,
+                                     WithSnapshots, WithFingerprints>;
     using Lease = OptimisticReadWriteLock::Lease;
     static constexpr bool concurrent = Access::concurrent;
     using ImageT = typename NodeT::SnapImageT;
@@ -149,7 +156,8 @@ class btree {
     static_assert(!WithSnapshots ||
                       std::is_same_v<Alloc, NewDeleteNodeAlloc<
                                                 Key, BlockSize, Access,
-                                                with_column, WithSnapshots>>,
+                                                with_column, WithSnapshots,
+                                                WithFingerprints>>,
                   "snapshot-enabled trees require the default new/delete "
                   "node allocator");
 
@@ -157,12 +165,14 @@ public:
     using key_type = Key;
     using value_type = Key;
     using const_iterator =
-        detail::Iterator<Key, BlockSize, Access, with_column, WithSnapshots>;
+        detail::Iterator<Key, BlockSize, Access, with_column, WithSnapshots,
+                         WithFingerprints, Compare>;
     using iterator = const_iterator; // keys are immutable once stored
     static constexpr unsigned block_size = BlockSize;
     static constexpr bool allow_duplicates = AllowDuplicates;
     static constexpr bool with_snapshots = WithSnapshots;
     static constexpr bool with_combining = WithCombining;
+    static constexpr bool with_fingerprints = WithFingerprints;
 
     // -- operation hints ----------------------------------------------------
 
@@ -432,6 +442,7 @@ private:
                 leaf->template key_store<SeqAccess>(static_cast<unsigned>(i), *it);
             }
             leaf->num_elements.store(static_cast<std::uint32_t>(s));
+            fp_reset_leaf(leaf); // packed leaves are born fully consolidated
             snap_mark_fresh(leaf, snap_e);
             return leaf;
         }
@@ -469,8 +480,39 @@ public:
         return contains(k, h);
     }
 
+    /// First-class membership test: no iterator construction, answered by a
+    /// leaf-local probe (the fingerprint array under layout v2) under a
+    /// validated lease. Unlike find() — whose result is an iterator and is
+    /// therefore only meaningful phase-concurrently — contains() validates
+    /// and restarts, so it is additionally safe concurrently with writers
+    /// (the PR-9 elision probe and the evaluator's head-FULL filter both
+    /// want exactly that). Equivalent to find(k, hints) != end(); a
+    /// regression test pins the equivalence.
     bool contains(const Key& k, operation_hints& hints) const {
-        return find(k, hints) != end();
+        if (root_.load_acquire() == nullptr) {
+            hints.stats.miss(HintKind::Contains);
+            return false;
+        }
+        // Hint fast path: membership decided inside the cached leaf. The
+        // outcome is tallied once per operation, as in find().
+        if (NodeT* leaf = hints.get(HintKind::Contains)) {
+            const Lease lease = leaf->lock.start_read();
+            if (leaf_covers(leaf, k) && leaf->lock.validate(lease)) {
+                hints.stats.hit(HintKind::Contains);
+                if (const auto r = leaf_membership(leaf, lease, k, hints)) {
+                    return *r;
+                }
+                // probe raced with a writer: resolve by descent
+            } else {
+                hints.stats.miss(HintKind::Contains);
+            }
+        } else {
+            hints.stats.miss(HintKind::Contains);
+        }
+        for (;;) {
+            if (const auto r = contains_descent(k, hints)) return *r;
+            DTREE_METRIC_INC(btree_restarts);
+        }
     }
 
     const_iterator find(const Key& k) const {
@@ -490,25 +532,47 @@ public:
             if (leaf_covers(leaf, k)) {
                 hints.stats.hit(HintKind::Contains);
                 const unsigned n = leaf->num_elements.load();
-                const unsigned pos = detail::node_lower_hinted<Search, Access>(
-                    leaf, n, k, comp_, hints.slots.get(HintKind::Contains));
-                hints.slots.set(HintKind::Contains, pos);
-                if (pos < n && comp_.equal(Access::load(leaf->keys[pos]), k)) {
-                    return const_iterator(leaf, pos);
+                if constexpr (WithFingerprints) {
+                    // v2 leaf: fingerprint probe decides membership with
+                    // (usually) zero key comparisons; the iterator position
+                    // is the key's merged-view rank.
+                    if (leaf_fp_find(leaf, n, k) >= 0) {
+                        return make_iter(leaf, leaf_rank_lower(leaf, n, k));
+                    }
+                    return end();
+                } else {
+                    const unsigned pos =
+                        detail::node_lower_hinted<Search, Access>(
+                            leaf, n, k, comp_,
+                            hints.slots.get(HintKind::Contains));
+                    hints.slots.set(HintKind::Contains, pos);
+                    if (pos < n &&
+                        comp_.equal(Access::load(leaf->keys[pos]), k)) {
+                        return make_iter(leaf, pos);
+                    }
+                    return end(); // the covering leaf would have to contain it
                 }
-                return end(); // the covering leaf would have to contain it
             }
         }
         hints.stats.miss(HintKind::Contains);
         for (;;) {
             const unsigned n = cur->num_elements.load();
+            if constexpr (WithFingerprints) {
+                if (!cur->inner) {
+                    hints.set(HintKind::Contains, const_cast<NodeT*>(cur));
+                    if (leaf_fp_find(cur, n, k) >= 0) {
+                        return make_iter(cur, leaf_rank_lower(cur, n, k));
+                    }
+                    return end();
+                }
+            }
             const unsigned pos = detail::node_lower<Search, Access>(cur, n, k, comp_);
             if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
                 if (!cur->inner) {
                     hints.set(HintKind::Contains, const_cast<NodeT*>(cur));
                     hints.slots.set(HintKind::Contains, pos);
                 }
-                return const_iterator(cur, pos);
+                return make_iter(cur, pos);
             }
             if (!cur->inner) {
                 hints.set(HintKind::Contains, const_cast<NodeT*>(cur));
@@ -541,27 +605,39 @@ public:
             // first duplicate of k may live in an earlier leaf, and answering
             // from this one would return a mid-run iterator (mirrors the
             // strict right edge upper_bound uses for the symmetric reason).
-            if (n > 0 &&
-                (AllowDuplicates ? comp_(Access::load(leaf->keys[0]), k) < 0
-                                 : comp_(Access::load(leaf->keys[0]), k) <= 0) &&
-                comp_(k, Access::load(leaf->keys[n - 1])) <= 0) {
+            if (n > 0 && leaf_edge_lt(leaf, n, k, /*strict_left=*/AllowDuplicates) &&
+                leaf_edge_ge(leaf, n, k, /*strict_right=*/false)) {
                 hints.stats.hit(HintKind::Lower);
-                const unsigned pos = detail::node_lower_hinted<Search, Access>(
-                    leaf, n, k, comp_, hints.slots.get(HintKind::Lower));
-                hints.slots.set(HintKind::Lower, pos);
-                return const_iterator(leaf, pos);
+                unsigned pos;
+                if constexpr (WithFingerprints) {
+                    pos = leaf_rank_lower(leaf, n, k);
+                } else {
+                    pos = detail::node_lower_hinted<Search, Access>(
+                        leaf, n, k, comp_, hints.slots.get(HintKind::Lower));
+                    hints.slots.set(HintKind::Lower, pos);
+                }
+                return make_iter(leaf, pos);
             }
         }
         hints.stats.miss(HintKind::Lower);
         const_iterator best = end();
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            const unsigned pos = detail::node_lower<Search, Access>(cur, n, k, comp_);
+            unsigned pos;
+            if constexpr (WithFingerprints) {
+                pos = cur->inner
+                          ? detail::node_lower<Search, Access>(cur, n, k, comp_)
+                          : leaf_rank_lower(cur, n, k);
+            } else {
+                pos = detail::node_lower<Search, Access>(cur, n, k, comp_);
+            }
             if (!cur->inner) {
                 if (pos < n) {
                     hints.set(HintKind::Lower, const_cast<NodeT*>(cur));
-                    hints.slots.set(HintKind::Lower, pos);
-                    return const_iterator(cur, pos);
+                    if constexpr (!WithFingerprints) {
+                        hints.slots.set(HintKind::Lower, pos);
+                    }
+                    return make_iter(cur, pos);
                 }
                 return best;
             }
@@ -569,10 +645,10 @@ public:
                 // An equal separator IS the lower bound; for multisets the
                 // first duplicate may live in the left subtree, so descend.
                 if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
-                    return const_iterator(cur, pos);
+                    return make_iter(cur, pos);
                 }
             }
-            if (pos < n) best = const_iterator(cur, pos);
+            if (pos < n) best = make_iter(cur, pos);
             const NodeT* next = cur->as_inner()->children[pos].load();
             detail::prefetch_node(next);
             detail::prefetch_tie_sibling<Access>(cur, pos, n, k);
@@ -595,29 +671,43 @@ public:
         if (NodeT* leaf = hints.get(HintKind::Upper)) {
             const unsigned n = leaf->num_elements.load();
             // need k < last key so the strictly-greater element is local
-            if (n > 0 && comp_(Access::load(leaf->keys[0]), k) <= 0 &&
-                comp_(k, Access::load(leaf->keys[n - 1])) < 0) {
+            if (n > 0 && leaf_edge_lt(leaf, n, k, /*strict_left=*/false) &&
+                leaf_edge_ge(leaf, n, k, /*strict_right=*/true)) {
                 hints.stats.hit(HintKind::Upper);
-                const unsigned pos = detail::node_upper_hinted<Search, Access>(
-                    leaf, n, k, comp_, hints.slots.get(HintKind::Upper));
-                hints.slots.set(HintKind::Upper, pos);
-                return const_iterator(leaf, pos);
+                unsigned pos;
+                if constexpr (WithFingerprints) {
+                    pos = leaf_rank_upper(leaf, n, k);
+                } else {
+                    pos = detail::node_upper_hinted<Search, Access>(
+                        leaf, n, k, comp_, hints.slots.get(HintKind::Upper));
+                    hints.slots.set(HintKind::Upper, pos);
+                }
+                return make_iter(leaf, pos);
             }
         }
         hints.stats.miss(HintKind::Upper);
         const_iterator best = end();
         for (;;) {
             const unsigned n = cur->num_elements.load();
-            const unsigned pos = detail::node_upper<Search, Access>(cur, n, k, comp_);
+            unsigned pos;
+            if constexpr (WithFingerprints) {
+                pos = cur->inner
+                          ? detail::node_upper<Search, Access>(cur, n, k, comp_)
+                          : leaf_rank_upper(cur, n, k);
+            } else {
+                pos = detail::node_upper<Search, Access>(cur, n, k, comp_);
+            }
             if (!cur->inner) {
                 if (pos < n) {
                     hints.set(HintKind::Upper, const_cast<NodeT*>(cur));
-                    hints.slots.set(HintKind::Upper, pos);
-                    return const_iterator(cur, pos);
+                    if constexpr (!WithFingerprints) {
+                        hints.slots.set(HintKind::Upper, pos);
+                    }
+                    return make_iter(cur, pos);
                 }
                 return best;
             }
-            if (pos < n) best = const_iterator(cur, pos);
+            if (pos < n) best = make_iter(cur, pos);
             const NodeT* next = cur->as_inner()->children[pos].load();
             detail::prefetch_node(next);
             detail::prefetch_tie_sibling<Access>(cur, pos, n, k);
@@ -629,7 +719,7 @@ public:
         const NodeT* cur = root_.load();
         if (!cur) return end();
         while (cur->inner) cur = cur->as_inner()->children[0].load();
-        return const_iterator(cur, 0);
+        return make_iter(cur, 0);
     }
 
     const_iterator end() const { return const_iterator(); }
@@ -861,6 +951,16 @@ private:
                 if (n <= BlockSize) {
                     out.n = n;
                     out.inner = node->inner;
+                    // v2 leaves: capture the append-zone watermark under the
+                    // same lease; the private copy is merge-sorted AFTER
+                    // validation (view_lower needs sorted keys).
+                    unsigned sorted = n;
+                    if constexpr (WithFingerprints) {
+                        if (!node->inner) {
+                            sorted = node->fp_sorted();
+                            if (sorted > n) sorted = n; // torn; retry below
+                        }
+                    }
                     for (unsigned i = 0; i < n; ++i) {
                         out.keys[i] = Access::load(node->keys[i]);
                     }
@@ -870,7 +970,14 @@ private:
                             out.children[i] = in->children[i].load();
                         }
                     }
-                    if (node->lock.validate(lease)) return;
+                    if (node->lock.validate(lease)) {
+                        if constexpr (WithFingerprints) {
+                            if (!out.inner && sorted < out.n) {
+                                sort_tail(out.keys, sorted, out.n);
+                            }
+                        }
+                        return;
+                    }
                 }
                 continue; // torn read or writer interleaved: retry
             }
@@ -1042,6 +1149,14 @@ private:
             img->n = n;
             img->inner = node->inner;
             for (unsigned i = 0; i < n; ++i) img->keys[i] = node->keys[i];
+            // v2 leaves retain the MERGED (sorted) image: snapshot readers
+            // binary-search images, and the logical content is unchanged.
+            if constexpr (WithFingerprints) {
+                if (!node->inner) {
+                    const unsigned s = node->fp_sorted();
+                    if (s < n) sort_tail(img->keys, s, n);
+                }
+            }
             img->next = node->snap.versions.load();
             // Release: a reader following the chain head must see the image
             // fully constructed.
@@ -1134,6 +1249,7 @@ private:
             NodeT* leaf = alloc_.make_leaf();
             leaf->template key_store<SeqAccess>(0, k);
             leaf->num_elements.store(1);
+            fp_reset_leaf(leaf);
             const std::uint64_t se = snap_epoch_now();
             snap_mark_fresh(leaf, se);
             snap_retain_root(nullptr, se);
@@ -1143,8 +1259,13 @@ private:
         }
         if (start) cur = start;
 
-        unsigned pos;
+        unsigned pos = 0;
         for (;;) {
+            if constexpr (WithFingerprints) {
+                // v2 leaves are probed below (the append zone defeats the
+                // sorted in-node search); inner nodes are handled as ever.
+                if (!cur->inner) break;
+            }
             const unsigned n = cur->num_elements.load();
             pos = search_pos(cur, n, k);
             if constexpr (!AllowDuplicates) {
@@ -1161,6 +1282,15 @@ private:
             cur = next;
         }
 
+        if constexpr (WithFingerprints) {
+            if constexpr (!AllowDuplicates) {
+                if (leaf_fp_find(cur, cur->num_elements.load(), k) >= 0) {
+                    hints.set(HintKind::Insert, cur);
+                    return false;
+                }
+            }
+        }
+
         if (cur->full()) {
             split_and_propagate(cur, snap_epoch_now());
             // The leaf's key range halved; simply re-run the insert (the
@@ -1170,11 +1300,15 @@ private:
 
         const unsigned n = cur->num_elements.load();
         snap_retain(cur, snap_epoch_now());
-        for (unsigned i = n; i > pos; --i) {
-            cur->template key_move<SeqAccess>(i, i - 1);
+        if constexpr (WithFingerprints) {
+            leaf_append(cur, n, k); // slot write + fingerprint publish
+        } else {
+            for (unsigned i = n; i > pos; --i) {
+                cur->template key_move<SeqAccess>(i, i - 1);
+            }
+            cur->template key_store<SeqAccess>(pos, k);
+            cur->num_elements.store(n + 1);
         }
-        cur->template key_store<SeqAccess>(pos, k);
-        cur->num_elements.store(n + 1);
         hints.set(HintKind::Insert, cur);
         return true;
     }
@@ -1196,6 +1330,7 @@ private:
                 // Unpublished: plain stores are fine.
                 leaf->template key_store<SeqAccess>(0, k);
                 leaf->num_elements.store(1);
+                fp_reset_leaf(leaf);
                 const std::uint64_t se = snap_epoch_now();
                 snap_mark_fresh(leaf, se);
                 snap_retain_root(nullptr, se);
@@ -1269,6 +1404,20 @@ private:
 
         // Descend (lines 20-33).
         for (;;) {
+            if constexpr (WithFingerprints) {
+                // v2 leaves skip the sorted in-node search; leaf_insert runs
+                // the fingerprint membership probe itself.
+                if (!cur->inner) {
+                    const LeafResult r = leaf_insert(cur, cur_lease, k, hints);
+                    switch (r) {
+                        case LeafResult::Inserted: return true;
+                        case LeafResult::Duplicate: return false;
+                        case LeafResult::Retry:
+                            DTREE_METRIC_INC(btree_leaf_retries);
+                            return std::nullopt;
+                    }
+                }
+            }
             const unsigned n = cur->num_elements.load();
             const unsigned pos = search_pos_racy(cur, n, k);
             if constexpr (!AllowDuplicates) {
@@ -1320,6 +1469,9 @@ private:
         if (DTREE_FAILPOINT(leaf_retry)) return LeafResult::Retry;
         const unsigned n = leaf->num_elements.load();
         if (n > BlockSize) return LeafResult::Retry; // torn read; impossible once validated
+        if constexpr (WithFingerprints) {
+            return leaf_insert_v2(leaf, lease, n, k, hints);
+        }
         // The predicted slot from the previous insert steers the in-node
         // search; a stale guess is validated (racily — the upgrade below
         // re-validates the lease, restoring Alg. 1's guarantees) and at
@@ -1362,6 +1514,38 @@ private:
         return LeafResult::Inserted;
     }
 
+    /// Layout-v2 leaf write phase (DESIGN.md §15): a racy fingerprint probe
+    /// answers duplicates with zero key loads for the common miss, and the
+    /// insert itself is an APPEND — slot write + release fingerprint publish
+    /// + count bump — never an element shift. The probe's (n, verdict) pair
+    /// is trusted only after the upgrade atomically validates the lease they
+    /// were read under, exactly Alg. 1's argument. Slot hints are ignored:
+    /// an append's position is always n.
+    LeafResult leaf_insert_v2(NodeT* leaf, Lease lease, unsigned n,
+                              const Key& k, operation_hints& hints)
+        requires WithFingerprints
+    {
+        if constexpr (!AllowDuplicates) {
+            if (leaf_fp_find(leaf, n, k) >= 0) {
+                if (!leaf->lock.validate(lease)) return LeafResult::Retry;
+                hints.set(HintKind::Insert, leaf);
+                return LeafResult::Duplicate;
+            }
+        }
+        DTREE_FAILPOINT_DELAY(upgrade_delay);
+        if (!leaf->lock.try_upgrade_to_write(lease)) return LeafResult::Retry;
+        if (leaf->full()) {
+            split_concurrent(leaf);
+            leaf->lock.end_write();
+            return LeafResult::Retry;
+        }
+        snap_retain(leaf, snap_epoch_now());
+        leaf_append(leaf, n, k);
+        leaf->lock.end_write();
+        hints.set(HintKind::Insert, leaf);
+        return LeafResult::Inserted;
+    }
+
     // -- contention-adaptive insertion (elimination + combining, §14) ---------
 
     /// Outcome of one read-only locating descent for the adaptive path.
@@ -1393,14 +1577,26 @@ private:
                 if constexpr (!AllowDuplicates) {
                     const unsigned n = h->num_elements.load();
                     if (n > BlockSize) return std::nullopt; // torn; fall back
-                    const unsigned pos = search_pos_racy_hinted(
-                        h, n, k, hints.slots.get(HintKind::Insert));
-                    if (pos < n && comp_.equal(Access::load(h->keys[pos]), k)) {
-                        if (!h->lock.validate(l)) return std::nullopt;
-                        DTREE_METRIC_INC(combine_elisions);
-                        hints.set(HintKind::Insert, h);
-                        hints.slots.set(HintKind::Insert, pos);
-                        return false;
+                    if constexpr (WithFingerprints) {
+                        // v2: the elision probe IS the fingerprint probe —
+                        // one SIMD byte compare, zero key loads on a miss.
+                        if (leaf_fp_find(h, n, k) >= 0) {
+                            if (!h->lock.validate(l)) return std::nullopt;
+                            DTREE_METRIC_INC(combine_elisions);
+                            hints.set(HintKind::Insert, h);
+                            return false;
+                        }
+                    } else {
+                        const unsigned pos = search_pos_racy_hinted(
+                            h, n, k, hints.slots.get(HintKind::Insert));
+                        if (pos < n &&
+                            comp_.equal(Access::load(h->keys[pos]), k)) {
+                            if (!h->lock.validate(l)) return std::nullopt;
+                            DTREE_METRIC_INC(combine_elisions);
+                            hints.set(HintKind::Insert, h);
+                            hints.slots.set(HintKind::Insert, pos);
+                            return false;
+                        }
                     }
                 }
                 if (!h->lock.validate(l)) return std::nullopt;
@@ -1474,6 +1670,19 @@ private:
         } while (!root_lock_.end_read(root_lease));
         for (;;) {
             const unsigned n = cur->num_elements.load();
+            if constexpr (WithFingerprints) {
+                if (!cur->inner) {
+                    // v2 leaf: the membership half of elimination runs on
+                    // the fingerprint array, not the sorted search.
+                    if constexpr (!AllowDuplicates) {
+                        if (leaf_fp_find(cur, n, k) >= 0) {
+                            if (!cur->lock.validate(cur_lease)) return {};
+                            return {nullptr, Lease{}, true};
+                        }
+                    }
+                    return {cur, cur_lease, false};
+                }
+            }
             const unsigned pos = search_pos_racy(cur, n, k);
             if constexpr (!AllowDuplicates) {
                 if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
@@ -1550,6 +1759,32 @@ private:
             const unsigned n = leaf->num_elements.load();
             if (!leaf_covers(leaf, k)) {
                 e->state.store(CombineState::Failed, std::memory_order_release);
+                continue;
+            }
+            if constexpr (WithFingerprints) {
+                // v2 batch apply: fingerprint dup probe + append per entry,
+                // all under the one write-lock acquisition.
+                if constexpr (!AllowDuplicates) {
+                    if (leaf_fp_find(leaf, n, k) >= 0) {
+                        ++resolved;
+                        e->state.store(CombineState::Duplicate,
+                                       std::memory_order_release);
+                        continue;
+                    }
+                }
+                if (leaf->full()) {
+                    split_concurrent(leaf);
+                    leaf->lock.end_write();
+                    lock_released = true;
+                    e->state.store(CombineState::Failed,
+                                   std::memory_order_release);
+                    continue;
+                }
+                snap_retain(leaf, se);
+                leaf_append(leaf, n, k);
+                ++resolved;
+                e->state.store(CombineState::Inserted,
+                               std::memory_order_release);
                 continue;
             }
             const unsigned pos = search_pos_racy(leaf, n, k);
@@ -1668,6 +1903,11 @@ private:
             DTREE_METRIC_INC(btree_inner_splits);
         } else {
             DTREE_METRIC_INC(btree_leaf_splits);
+            // v2: merge the append zone into the sorted prefix FIRST — the
+            // median read and the halving below assume sorted keys, and the
+            // retained image (snap_retain) must be the merged view. We hold
+            // the write lock / exclusive access, as consolidation requires.
+            if constexpr (WithFingerprints) leaf_consolidate(node);
         }
         constexpr unsigned mid = BlockSize / 2;
         // Pre-split content (keys AND children) for readers.
@@ -1710,6 +1950,16 @@ private:
         }
         sibling->num_elements.store(moved);
         node->num_elements.store(mid); // racy readers re-validate
+        if constexpr (WithFingerprints) {
+            if (!node->inner) {
+                // Both halves are consolidated (sorted) post-split. The
+                // node's min is untouched; its max shrinks to the new last
+                // key. Racy readers of the cached bounds re-validate.
+                node->fp_sorted_store(mid);
+                Access::store(node->fpst.max_key, node->keys[mid - 1]);
+                fp_reset_leaf(sibling);
+            }
+        }
 
         InnerT* parent = node->parent.load();
         if (!parent) {
@@ -1782,6 +2032,10 @@ private:
     It leaf_fill_sorted(NodeT* leaf, It first, It last, const Key* hi,
                         bool hi_inclusive, std::size_t& inserted,
                         bool& need_split) {
+        // v2: the merge below walks the leaf's keys in sorted order — fold
+        // the append zone in first (we hold exclusive access). Bulk loads
+        // thus always emit fully-consolidated leaves.
+        if constexpr (WithFingerprints) leaf_consolidate(leaf);
         const unsigned n = leaf->num_elements.load();
         Key buf[BlockSize]; // merged image; committed only if keys were taken
         unsigned nb = 0;    // keys staged into buf
@@ -1852,6 +2106,7 @@ private:
                 leaf->template key_store<Access>(j, buf[j]);
             }
             leaf->num_elements.store(nb);
+            fp_reset_leaf(leaf); // merged image is sorted: watermark = nb
         }
         DTREE_METRIC_ADD(btree_bulk_keys, consumed);
         return first;
@@ -1895,6 +2150,7 @@ private:
             have_prev = true;
         }
         leaf->num_elements.store(nb);
+        fp_reset_leaf(leaf);
         const std::uint64_t se = snap_epoch_now();
         snap_mark_fresh(leaf, se);
         snap_retain_root(nullptr, se);
@@ -1929,6 +2185,10 @@ private:
             return std::nullopt;
         }
         hints.stats.hit(HintKind::Insert);
+        // v2: consolidate before reading the last key — with a live append
+        // zone, keys[n-1] is not the leaf's maximum. (leaf_fill_sorted
+        // consolidates again; that second call is a no-op.)
+        if constexpr (WithFingerprints) leaf_consolidate(leaf);
         const unsigned n = leaf->num_elements.load(); // exact: write-locked
         const Key hi = leaf->keys[n - 1];
         bool need_split = false;
@@ -2052,6 +2312,7 @@ private:
                 have_prev = true;
             }
             leaf->num_elements.store(nb);
+            fp_reset_leaf(leaf);
             const std::uint64_t se = snap_epoch_now();
             snap_mark_fresh(leaf, se);
             snap_retain_root(nullptr, se);
@@ -2064,6 +2325,8 @@ private:
         const Key k = *first;
         if (NodeT* h = hints.get(HintKind::Insert); h && leaf_covers(h, k)) {
             hints.stats.hit(HintKind::Insert);
+            // v2: keys[n-1] is only the maximum on a consolidated leaf.
+            if constexpr (WithFingerprints) leaf_consolidate(h);
             const unsigned n = h->num_elements.load();
             const Key hi = h->keys[n - 1];
             bool need_split = false;
@@ -2107,12 +2370,256 @@ private:
     // -- helpers --------------------------------------------------------------
 
     /// Does the (leaf) node's current key range contain k? Uses racy loads;
-    /// concurrent callers must validate the node's lease afterwards.
+    /// concurrent callers must validate the node's lease afterwards. Layout
+    /// v2 reads the cached min/max (keys[0]/keys[n-1] carry no range meaning
+    /// once an append zone exists).
     bool leaf_covers(const NodeT* leaf, const Key& k) const {
         const unsigned n = leaf->num_elements.load();
         if (n == 0 || n > BlockSize) return false;
-        return comp_(Access::load(leaf->keys[0]), k) <= 0 &&
-               comp_(k, Access::load(leaf->keys[n - 1])) <= 0;
+        if constexpr (WithFingerprints) {
+            return comp_(Access::load(leaf->fpst.min_key), k) <= 0 &&
+                   comp_(k, Access::load(leaf->fpst.max_key)) <= 0;
+        } else {
+            return comp_(Access::load(leaf->keys[0]), k) <= 0 &&
+                   comp_(k, Access::load(leaf->keys[n - 1])) <= 0;
+        }
+    }
+
+    /// Left-edge test for the bound-query hint paths: smallest leaf key < k
+    /// (strict) or <= k. Same racy-load contract as leaf_covers. (`n` is for
+    /// signature symmetry with leaf_edge_ge; the left edge never needs it.)
+    bool leaf_edge_lt(const NodeT* leaf, [[maybe_unused]] unsigned n,
+                      const Key& k, bool strict_left) const {
+        const Key lo = [&] {
+            if constexpr (WithFingerprints) {
+                return Access::load(leaf->fpst.min_key);
+            } else {
+                return Access::load(leaf->keys[0]);
+            }
+        }();
+        const int c = comp_(lo, k);
+        return strict_left ? c < 0 : c <= 0;
+    }
+
+    /// Right-edge test: k < largest leaf key (strict) or <= it.
+    bool leaf_edge_ge(const NodeT* leaf, unsigned n, const Key& k,
+                      bool strict_right) const {
+        const Key hi = [&] {
+            if constexpr (WithFingerprints) {
+                return Access::load(leaf->fpst.max_key);
+            } else {
+                return Access::load(leaf->keys[n - 1]);
+            }
+        }();
+        const int c = comp_(k, hi);
+        return strict_right ? c < 0 : c <= 0;
+    }
+
+    // -- leaf layout v2 primitives (WithFingerprints; DESIGN.md §15) ---------
+
+    /// Fingerprint membership probe: a physical slot in [0, n) holding a key
+    /// equal to k, or -1. One AVX2 byte-compare nominates candidate slots;
+    /// only those load actual key elements. Racy — concurrent callers trust
+    /// the verdict only after validating the lease the probe ran under.
+    int leaf_fp_find(const NodeT* leaf, unsigned n, const Key& k) const
+        requires WithFingerprints
+    {
+        if (n > BlockSize) n = BlockSize; // torn count: stay in bounds
+        return detail::simd::fp_find<Access>(
+            leaf->fp_bytes(), n, dtree::key_fingerprint(k),
+            [&](unsigned slot) {
+                return comp_.equal(Access::load(leaf->keys[slot]), k);
+            });
+    }
+
+    /// Rank (merged-view position) of the first key >= k in a v2 leaf: the
+    /// configured in-node search over the sorted prefix plus a linear count
+    /// over the append zone. Racy loads; phase-concurrent or validated
+    /// callers only.
+    unsigned leaf_rank_lower(const NodeT* leaf, unsigned n, const Key& k) const
+        requires WithFingerprints
+    {
+        unsigned s = leaf->fp_sorted();
+        if (s > n) s = n; // torn watermark
+        unsigned r = detail::node_lower<Search, Access>(leaf, s, k, comp_);
+        for (unsigned i = s; i < n; ++i) {
+            if (comp_(Access::load(leaf->keys[i]), k) < 0) ++r;
+        }
+        return r;
+    }
+
+    /// Rank of the first key > k (upper bound twin of leaf_rank_lower).
+    unsigned leaf_rank_upper(const NodeT* leaf, unsigned n, const Key& k) const
+        requires WithFingerprints
+    {
+        unsigned s = leaf->fp_sorted();
+        if (s > n) s = n;
+        unsigned r = detail::node_upper<Search, Access>(leaf, s, k, comp_);
+        for (unsigned i = s; i < n; ++i) {
+            if (comp_(Access::load(leaf->keys[i]), k) <= 0) ++r;
+        }
+        return r;
+    }
+
+    /// The v2 in-leaf insert (exclusive access, leaf not full): write the
+    /// key into slot n — key_store publishes the fingerprint byte with a
+    /// release store AFTER the key elements — refresh the cached bounds,
+    /// advance the sorted watermark when the append keeps the prefix
+    /// sorted (ascending runs, the dominant Datalog pattern), then bump the
+    /// count. No element ever moves.
+    void leaf_append(NodeT* leaf, unsigned n, const Key& k)
+        requires WithFingerprints
+    {
+        leaf->template key_store<Access>(n, k);
+        if (n == 0) {
+            Access::store(leaf->fpst.min_key, k);
+            Access::store(leaf->fpst.max_key, k);
+            leaf->fp_sorted_store(1);
+        } else {
+            if (comp_(k, Access::load(leaf->fpst.min_key)) < 0) {
+                Access::store(leaf->fpst.min_key, k);
+            }
+            if (comp_(Access::load(leaf->fpst.max_key), k) < 0) {
+                Access::store(leaf->fpst.max_key, k);
+            }
+            if (leaf->fp_sorted() == n &&
+                comp_(leaf->keys[n - 1], k) <= 0) { // exclusive: plain read
+                leaf->fp_sorted_store(n + 1);
+            }
+        }
+        leaf->num_elements.store(n + 1);
+        DTREE_METRIC_INC(append_inserts);
+    }
+
+    /// Merges the append zone into the sorted prefix (exclusive access).
+    /// The logical key set is unchanged, so there is NO snap_retain and
+    /// mod_epoch stays untouched — snapshots resolve the leaf identically
+    /// before and after. key_store rewrites fingerprints alongside.
+    void leaf_consolidate(NodeT* leaf) requires WithFingerprints {
+        const unsigned n = leaf->num_elements.load();
+        const unsigned s = leaf->fp_sorted();
+        if (s >= n) {
+            if (s != n) leaf->fp_sorted_store(n); // normalise (fresh node)
+            return;
+        }
+        DTREE_METRIC_INC(leaf_consolidations);
+        Key buf[BlockSize];
+        for (unsigned i = 0; i < n; ++i) buf[i] = leaf->keys[i]; // exclusive
+        sort_tail(buf, s, n);
+        for (unsigned i = 0; i < n; ++i) {
+            leaf->template key_store<Access>(i, buf[i]);
+        }
+        leaf->fp_sorted_store(n);
+        Access::store(leaf->fpst.min_key, buf[0]);
+        Access::store(leaf->fpst.max_key, buf[n - 1]);
+    }
+
+    /// Marks a leaf wholly sorted and refreshes its cached bounds from its
+    /// keys (exclusive access; used wherever a leaf is [re]built already in
+    /// order: packed loads, bulk merges, split halves). No-op without v2.
+    void fp_reset_leaf(NodeT* leaf) {
+        if constexpr (WithFingerprints) {
+            const unsigned n = leaf->num_elements.load();
+            leaf->fp_sorted_store(n);
+            if (n > 0) {
+                Access::store(leaf->fpst.min_key, leaf->keys[0]);
+                Access::store(leaf->fpst.max_key, leaf->keys[n - 1]);
+            }
+        } else {
+            (void)leaf;
+        }
+    }
+
+    /// Stable insertion sort of keys[s, n) into the sorted keys[0, s):
+    /// strict `> 0` keeps prefix-before-tail at ties and tail entries in
+    /// slot order — the exact order point inserts into a sorted leaf would
+    /// have produced (what the iterator's merged view replays).
+    void sort_tail(Key* keys, unsigned s, unsigned n) const {
+        for (unsigned i = s; i < n; ++i) {
+            const Key k = keys[i];
+            unsigned j = i;
+            while (j > 0 && comp_(keys[j - 1], k) > 0) {
+                keys[j] = keys[j - 1];
+                --j;
+            }
+            keys[j] = k;
+        }
+    }
+
+    /// Iterator factory: v2 iterators carry the comparator (their merged
+    /// leaf view orders ranks with it).
+    const_iterator make_iter(const NodeT* n, unsigned pos) const {
+        if constexpr (WithFingerprints) {
+            return const_iterator(n, pos, comp_);
+        } else {
+            return const_iterator(n, pos);
+        }
+    }
+
+    /// Membership inside one leaf under a pending lease; nullopt = the
+    /// lease failed validation (caller restarts). Both layouts.
+    std::optional<bool> leaf_membership(const NodeT* leaf, Lease lease,
+                                       const Key& k,
+                                       operation_hints& hints) const {
+        const unsigned n = leaf->num_elements.load();
+        if (n > BlockSize) return std::nullopt; // torn; validation would fail
+        bool found;
+        unsigned pos = 0;
+        if constexpr (WithFingerprints) {
+            found = leaf_fp_find(leaf, n, k) >= 0;
+        } else {
+            pos = search_pos_racy_hinted(leaf, n, k,
+                                         hints.slots.get(HintKind::Contains));
+            if constexpr (AllowDuplicates) {
+                // search_pos is the UPPER bound for multisets (duplicates
+                // cluster left of it), so the witness sits one slot before.
+                found = pos > 0 &&
+                        comp_.equal(Access::load(leaf->keys[pos - 1]), k);
+            } else {
+                found = pos < n &&
+                        comp_.equal(Access::load(leaf->keys[pos]), k);
+            }
+        }
+        if (!leaf->lock.validate(lease)) return std::nullopt;
+        hints.set(HintKind::Contains, const_cast<NodeT*>(leaf));
+        if constexpr (!WithFingerprints) {
+            hints.slots.set(HintKind::Contains, pos);
+        }
+        return found;
+    }
+
+    /// One validated membership descent (contains()); nullopt = restart.
+    std::optional<bool> contains_descent(const Key& k,
+                                         operation_hints& hints) const {
+        Lease root_lease, cur_lease;
+        const NodeT* cur;
+        do {
+            root_lease = root_lock_.start_read();
+            cur = root_.load_acquire();
+            if (!cur) return false; // tree never shrinks; defensive only
+            cur_lease = cur->lock.start_read();
+        } while (!root_lock_.end_read(root_lease));
+        for (;;) {
+            const unsigned n = cur->num_elements.load();
+            if (!cur->inner) return leaf_membership(cur, cur_lease, k, hints);
+            // Inner nodes are sorted in both layouts; an equal separator IS
+            // an element of the (multi)set, so membership can resolve on
+            // the way down.
+            const unsigned pos =
+                detail::node_lower<Search, Access>(cur, n, k, comp_);
+            if (pos < n && comp_.equal(Access::load(cur->keys[pos]), k)) {
+                if (!cur->lock.validate(cur_lease)) return std::nullopt;
+                return true;
+            }
+            const NodeT* next = cur->as_inner()->children[pos].load();
+            detail::prefetch_node(next);
+            detail::prefetch_tie_sibling<Access>(cur, pos, n, k);
+            if (!cur->lock.validate(cur_lease)) return std::nullopt;
+            const Lease next_lease = next->lock.start_read();
+            if (!cur->lock.validate(cur_lease)) return std::nullopt;
+            cur = next;
+            cur_lease = next_lease;
+        }
     }
 
     /// In-node search position: lower bound for sets (duplicates rejected),
@@ -2177,6 +2684,54 @@ private:
         }
     }
 
+    std::string check_leaf_v2(const NodeT* n, const Key* lo, const Key* hi,
+                              unsigned cnt) const
+        requires WithFingerprints
+    {
+        const unsigned s = n->fp_sorted();
+        if (s > cnt) return "sorted watermark beyond count";
+        for (unsigned i = 0; i + 1 < s; ++i) {
+            const int c = comp_(n->keys[i], n->keys[i + 1]);
+            if (c > 0 || (!AllowDuplicates && c == 0)) {
+                return "unsorted v2 leaf prefix";
+            }
+        }
+        if constexpr (!AllowDuplicates) {
+            for (unsigned i = 0; i < cnt; ++i) {
+                for (unsigned j = i + 1; j < cnt; ++j) {
+                    if (comp_.equal(n->keys[i], n->keys[j])) {
+                        return "duplicate key in v2 leaf";
+                    }
+                }
+            }
+        }
+        for (unsigned i = 0; i < cnt; ++i) {
+            if (n->fp_bytes()[i] != dtree::key_fingerprint(n->keys[i])) {
+                return "stale fingerprint byte";
+            }
+        }
+        unsigned mn = 0, mx = 0;
+        for (unsigned i = 1; i < cnt; ++i) {
+            if (comp_(n->keys[i], n->keys[mn]) < 0) mn = i;
+            if (comp_(n->keys[mx], n->keys[i]) < 0) mx = i;
+        }
+        if (!comp_.equal(n->fpst.min_key, n->keys[mn])) return "stale cached min";
+        if (!comp_.equal(n->fpst.max_key, n->keys[mx])) return "stale cached max";
+        if (lo) {
+            const int c = comp_(*lo, n->keys[mn]);
+            if (c > 0 || (!AllowDuplicates && c == 0)) {
+                return "key below subtree lower bound";
+            }
+        }
+        if (hi) {
+            const int c = comp_(n->keys[mx], *hi);
+            if (c > 0 || (!AllowDuplicates && c == 0)) {
+                return "key above subtree upper bound";
+            }
+        }
+        return {};
+    }
+
     std::string check_node(const NodeT* n, const Key* lo, const Key* hi,
                            long depth, long& leaf_depth) const {
         const unsigned cnt = n->num_elements.load();
@@ -2187,6 +2742,19 @@ private:
         // have grown since: minimum fill is BlockSize/2 - 1.
         if (n->parent.load() != nullptr && cnt + 1 < BlockSize / 2) {
             return "under-filled node";
+        }
+        if constexpr (WithFingerprints) {
+            // v2 leaves are sorted only up to their watermark; their range
+            // lives in the cached bounds, and every occupied slot carries a
+            // fingerprint byte that must mirror its key.
+            if (!n->inner) {
+                if (auto err = check_leaf_v2(n, lo, hi, cnt); !err.empty()) {
+                    return err;
+                }
+                if (leaf_depth == -1) leaf_depth = depth;
+                if (leaf_depth != depth) return "leaves at different depths";
+                return {};
+            }
         }
         for (unsigned i = 0; i + 1 < cnt; ++i) {
             const int c = comp_(n->keys[i], n->keys[i + 1]);
@@ -2326,7 +2894,7 @@ template <typename Key, typename Compare = ThreeWayComparator<Key>,
           typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
 using arena_btree_set =
     btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false, false,
-          false,
+          false, false,
           ArenaNodeAlloc<Key, BlockSize, ConcurrentAccess,
                          detail::search_wants_column<Search>()>>;
 
@@ -2335,6 +2903,7 @@ template <typename Key, typename Compare = ThreeWayComparator<Key>,
           typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
 using arena_seq_btree_set =
     btree<Key, Compare, BlockSize, Search, SeqAccess, false, false, false,
+          false,
           ArenaNodeAlloc<Key, BlockSize, SeqAccess,
                          detail::search_wants_column<Search>()>>;
 
@@ -2376,5 +2945,54 @@ template <typename Key, typename Compare = ThreeWayComparator<Key>,
 using combine_btree_multiset =
     btree<Key, Compare, BlockSize, Search, ConcurrentAccess, true, false,
           true>;
+
+/// Leaf-layout-v2 variants (DESIGN.md §15): per-leaf fingerprint arrays
+/// answering membership with SIMD byte compares, plus append-zone inserts
+/// that never shift elements. The plain aliases above stay bit-identical to
+/// the paper-faithful layout — their FpState is an empty member and every
+/// v2 branch folds out.
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using fp_btree_set =
+    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false, false,
+          false, true>;
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using fp_btree_multiset =
+    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, true, false,
+          false, true>;
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using fp_seq_btree_set =
+    btree<Key, Compare, BlockSize, Search, SeqAccess, false, false, false,
+          true>;
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using fp_seq_btree_multiset =
+    btree<Key, Compare, BlockSize, Search, SeqAccess, true, false, false,
+          true>;
+
+/// v2 composed with snapshots / combining (the policy-gating matrix in
+/// DESIGN.md §15; torture-tested in tests/torture_btree_test.cpp).
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using fp_snapshot_btree_set =
+    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false, true,
+          false, true>;
+
+template <typename Key, typename Compare = ThreeWayComparator<Key>,
+          unsigned BlockSize = detail::default_block_size<Key>(),
+          typename Search = detail::DefaultSearch<Key, Compare, BlockSize>>
+using fp_combine_btree_set =
+    btree<Key, Compare, BlockSize, Search, ConcurrentAccess, false, false,
+          true, true>;
 
 } // namespace dtree

@@ -75,7 +75,7 @@ constexpr bool dense_column_key() {
 // ---------------------------------------------------------------------------
 
 template <typename Key, unsigned BlockSize, typename Access, bool WithColumn,
-          bool WithSnapshots>
+          bool WithSnapshots, bool WithFingerprints>
 struct InnerNode;
 
 // ---------------------------------------------------------------------------
@@ -123,6 +123,47 @@ struct SnapState {
 };
 template <typename Key, unsigned BlockSize, bool Concurrent>
 struct SnapState<Key, BlockSize, Concurrent, false> {};
+
+// ---------------------------------------------------------------------------
+// Leaf layout v2 state (fingerprints + append zone, DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// Number of fingerprint bytes a v2 node stores: BlockSize rounded up to a
+/// whole 256-bit vector so the AVX2 probe's unaligned loads never read past
+/// the array (the tail bytes beyond the valid count are masked out).
+constexpr unsigned fp_padded_size(unsigned block_size) {
+    return (block_size + 31u) & ~31u;
+}
+
+/// Per-node leaf-layout-v2 state (WithFingerprints trees only; specialised
+/// to an empty member otherwise so the default node layout stays
+/// bit-identical to the seed — same discipline as SnapState):
+///
+///   fp[i]      one-byte fingerprint of keys[i] (dtree::key_fingerprint),
+///              maintained by key_store/key_move/key_copy_from for LEAVES
+///              under exactly the locks protecting keys[] itself. The
+///              membership probe compares a whole vector of these bytes
+///              before touching any key. Inner nodes carry the array (they
+///              share the node header) but never read or maintain it.
+///   sorted     length of the leaf's sorted prefix: slots [0, sorted) are in
+///              key order, slots [sorted, n) are the append zone (arrival
+///              order). Consolidation (split / bulk-fill time) merges the
+///              zone back and restores sorted == n. Inner nodes are always
+///              fully sorted and never read this.
+///   min_key /  cached copies of the leaf's extreme keys, so leaf_covers
+///   max_key    stays two comparisons even when keys[0]/keys[n-1] are no
+///              longer the extremes (append zone). Updated incrementally on
+///              append under the write lock; racy readers copy them via
+///              Access and validate their lease, like any other node field.
+template <typename Key, unsigned BlockSize, bool Concurrent, bool Present>
+struct FpState {
+    std::uint8_t fp[fp_padded_size(BlockSize)] = {};
+    relaxed_value<std::uint32_t, Concurrent> sorted{0};
+    Key min_key{};
+    Key max_key{};
+};
+template <typename Key, unsigned BlockSize, bool Concurrent>
+struct FpState<Key, BlockSize, Concurrent, false> {};
 
 /// Storage for an inner node's separate first-column cache; specialised away
 /// to an empty member when the key has no usable column, the key array
@@ -173,11 +214,14 @@ struct Column2Store<C, N, false> {};
 /// they skip the storage and the maintenance entirely — their node layout
 /// and write paths stay bit-identical to the pre-column tree.
 template <typename Key, unsigned BlockSize, typename Access,
-          bool WithColumn = true, bool WithSnapshots = false>
+          bool WithColumn = true, bool WithSnapshots = false,
+          bool WithFingerprints = false>
 struct Node {
     static constexpr bool concurrent = Access::concurrent;
     static constexpr bool with_snapshots = WithSnapshots;
-    using Inner = InnerNode<Key, BlockSize, Access, WithColumn, WithSnapshots>;
+    static constexpr bool with_fingerprints = WithFingerprints;
+    using Inner = InnerNode<Key, BlockSize, Access, WithColumn, WithSnapshots,
+                            WithFingerprints>;
     using SnapImageT = SnapImage<Key, BlockSize>;
     using SnapInnerImageT = SnapInnerImage<Key, BlockSize, Node>;
     using FirstCol = dtree::first_column<Key>;
@@ -227,10 +271,35 @@ struct Node {
     [[no_unique_address]] SnapState<Key, BlockSize, concurrent, WithSnapshots>
         snap;
 
+    /// Leaf layout v2 state (empty for default trees; see FpState).
+    [[no_unique_address]] FpState<Key, BlockSize, concurrent, WithFingerprints>
+        fpst;
+
     explicit Node(bool is_inner) : inner(is_inner) {}
 
     std::uint32_t size() const { return num_elements.load(); }
     bool full() const { return size() == BlockSize; }
+
+    // -- leaf layout v2 accessors (only instantiated when WithFingerprints) --
+
+    const std::uint8_t* fp_bytes() const { return fpst.fp; }
+    std::uint32_t fp_sorted() const { return fpst.sorted.load(); }
+    void fp_sorted_store(std::uint32_t s) { fpst.sorted.store(s); }
+
+    /// Publishes the fingerprint byte for slot i. Release-ordered in the
+    /// concurrent tree so a probe that observes the published byte also
+    /// observes the complete key the slot write just stored (the append
+    /// path's publish ordering; the seqlock validation remains the actual
+    /// safety net — see the race_access.h notes).
+    template <typename A>
+    void fp_publish(unsigned i, std::uint8_t b) {
+        if constexpr (A::concurrent) {
+            std::atomic_ref<std::uint8_t>(fpst.fp[i])
+                .store(b, std::memory_order_release);
+        } else {
+            fpst.fp[i] = b;
+        }
+    }
 
     // -- key mutation (the ONLY writers of keys[] / the column caches) -------
     // A = SeqAccess for exclusive or unpublished nodes, the tree's Access
@@ -251,6 +320,12 @@ struct Node {
                 }
             }
         }
+        if constexpr (WithFingerprints) {
+            // Fingerprint AFTER the key elements: a racy probe that sees the
+            // byte sees the whole key (release publish, fp_publish above).
+            // Inner separators are never fingerprint-probed — skip them.
+            if (!inner) fp_publish<A>(i, dtree::key_fingerprint(k));
+        }
     }
 
     /// keys[dst] = keys[src] within this node (shift loops). Plain reads of
@@ -266,6 +341,9 @@ struct Node {
                     A::store(in->col2_.col[dst], in->col2_.col[src]);
                 }
             }
+        }
+        if constexpr (WithFingerprints) {
+            if (!inner) fp_publish<A>(dst, fpst.fp[src]);
         }
     }
 
@@ -284,6 +362,9 @@ struct Node {
                     A::store(in->col2_.col[dst], sin->col2_.col[src]);
                 }
             }
+        }
+        if constexpr (WithFingerprints) {
+            if (!inner) fp_publish<A>(dst, src_node.fpst.fp[src]);
         }
     }
 
@@ -322,9 +403,12 @@ struct Node {
 };
 
 template <typename Key, unsigned BlockSize, typename Access,
-          bool WithColumn = true, bool WithSnapshots = false>
-struct InnerNode : Node<Key, BlockSize, Access, WithColumn, WithSnapshots> {
-    using Base = Node<Key, BlockSize, Access, WithColumn, WithSnapshots>;
+          bool WithColumn = true, bool WithSnapshots = false,
+          bool WithFingerprints = false>
+struct InnerNode : Node<Key, BlockSize, Access, WithColumn, WithSnapshots,
+                        WithFingerprints> {
+    using Base =
+        Node<Key, BlockSize, Access, WithColumn, WithSnapshots, WithFingerprints>;
     using col_type = typename Base::col_type;
     static constexpr bool concurrent = Access::concurrent;
 
@@ -364,8 +448,9 @@ struct InnerNode : Node<Key, BlockSize, Access, WithColumn, WithSnapshots> {
 /// Frees a node and, recursively, everything below it. Only safe without
 /// concurrent users (destructor / clear()).
 template <typename Key, unsigned BlockSize, typename Access, bool WithColumn,
-          bool WithSnapshots>
-void free_subtree(Node<Key, BlockSize, Access, WithColumn, WithSnapshots>* n) {
+          bool WithSnapshots, bool WithFingerprints>
+void free_subtree(Node<Key, BlockSize, Access, WithColumn, WithSnapshots,
+                       WithFingerprints>* n) {
     if (!n) return;
     if (n->inner) {
         auto* in = n->as_inner();
@@ -617,6 +702,21 @@ __attribute__((target("avx2"))) inline Bounds pair_bounds_avx2_64(
     return Bounds{lt, le};
 }
 
+/// AVX2 byte-equality mask over one 32-byte fingerprint chunk: bit i of the
+/// result is set iff p[i] == b. The load is RACY BY DESIGN (race_access.h
+/// shim notes, extended for fingerprints): it runs only inside a
+/// start_read/validate window or under a held write lock, a matching bit
+/// only *nominates* a slot for full key verification, and the final answer
+/// is discarded unless the lease validates.
+__attribute__((target("avx2"))) inline std::uint32_t fp_eq_mask_avx2(
+    const std::uint8_t* p, std::uint8_t b) {
+    const __m256i needle = _mm256_set1_epi8(static_cast<char>(b));
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+    return static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, needle)));
+}
+
 #else
 
 inline bool have_avx2() { return false; }
@@ -763,6 +863,57 @@ inline Bounds pair_bounds(const Key* keys, unsigned n, C c0, C c1) {
 #endif
     DTREE_METRIC_INC(search_scalar_fallbacks);
     return pair_bounds_scalar<Access>(keys, n, c0, c1);
+}
+
+/// Fingerprint membership probe over a v2 leaf's byte array (DESIGN.md §15):
+/// compares all n fingerprint bytes against `b` — one _mm256_cmpeq_epi8 per
+/// 32 slots on the vector path — and hands each matching slot to `verify`
+/// (which loads the slot's key through the caller's Access discipline and
+/// compares it). Returns the first verified slot, or -1. The common Datalog
+/// case — a fresh derivation whose fingerprint matches no slot — answers
+/// with ZERO key loads (fp_skips counts those; fp_false_hits counts byte
+/// matches the key comparison rejected).
+///
+/// The fingerprint array is padded to a whole vector (fp_padded_size), so
+/// the final unaligned load never reads out of bounds; bytes at and beyond
+/// n are masked out. Bytes within [0, n) left stale by a racing writer can
+/// only cause a spurious verify (discarded by the caller's lease validation)
+/// or a missed match (the caller restarts on validation failure) — the same
+/// discard-on-conflict argument as every other racy read.
+template <typename Access, typename Verify>
+inline int fp_find(const std::uint8_t* fp, unsigned n, std::uint8_t b,
+                   Verify&& verify) {
+    DTREE_METRIC_INC(fp_probes);
+    bool any = false;
+#if DTREE_SIMD_VECTOR
+    if (have_avx2()) {
+        for (unsigned base = 0; base < n; base += 32) {
+            std::uint32_t m = fp_eq_mask_avx2(fp + base, b);
+            const unsigned rem = n - base;
+            if (rem < 32) m &= 0xffffffffu >> (32 - rem);
+            while (m != 0) {
+                const unsigned slot =
+                    base + static_cast<unsigned>(__builtin_ctz(m));
+                any = true;
+                if (verify(slot)) return static_cast<int>(slot);
+                DTREE_METRIC_INC(fp_false_hits);
+                m &= m - 1;
+            }
+        }
+        if (!any) DTREE_METRIC_INC(fp_skips);
+        return -1;
+    }
+#endif
+    // Scalar fallback (TSan builds, non-AVX2 hosts, -DDATATREE_SIMD=OFF):
+    // byte loads through the Access discipline, same candidate handling.
+    for (unsigned i = 0; i < n; ++i) {
+        if (Access::load(fp[i]) != b) continue;
+        any = true;
+        if (verify(i)) return static_cast<int>(i);
+        DTREE_METRIC_INC(fp_false_hits);
+    }
+    if (!any) DTREE_METRIC_INC(fp_skips);
+    return -1;
 }
 
 } // namespace simd
@@ -1068,28 +1219,57 @@ using DefaultSearch = std::conditional_t<
 // Iterator
 // ---------------------------------------------------------------------------
 
+/// Rank→slot table for iterating a v2 leaf whose append zone is non-empty:
+/// idx[rank] is the physical slot of the rank-th key in merged order (sorted
+/// prefix and tail interleaved; ties keep prefix-before-tail, tail in slot
+/// order — exactly the order point inserts into a sorted leaf would have
+/// produced). Built lazily on first dereference so iterators created merely
+/// for comparison (contains() == end()) never read the leaf's keys, and
+/// cached per leaf (built_for). Empty when the policy is off.
+template <unsigned BlockSize, bool Present>
+struct IterOrder {
+    const void* built_for = nullptr;
+    bool active = false;
+    std::uint16_t idx[BlockSize];
+};
+template <unsigned BlockSize>
+struct IterOrder<BlockSize, false> {};
+
+/// Placeholder comparator type for non-fingerprint iterators (the merged
+/// view is the only thing an iterator ever compares keys for).
+struct IterNoComp {};
+
 /// Forward in-order iterator over a (phase-concurrently read) B-tree.
 /// Holds (node, index); incrementing performs the classic in-order walk:
 /// after consuming an inner key, descend to the leftmost leaf of the right
 /// child; after the last key of a leaf, climb until a pending separator key
 /// is found. Iteration is only defined while no writer is active (§2's
 /// two-phase guarantee).
+///
+/// Leaf layout v2 (WithFingerprints): the index is a RANK in the leaf's
+/// merged (sorted-prefix + append-zone) view; dereferencing maps it to the
+/// physical slot through a lazily built order table. Positions and counts
+/// are unchanged, so the walk itself is identical.
 template <typename Key, unsigned BlockSize, typename Access,
-          bool WithColumn = true, bool WithSnapshots = false>
+          bool WithColumn = true, bool WithSnapshots = false,
+          bool WithFingerprints = false, typename Compare = void>
 class Iterator {
 public:
-    using NodeT = Node<Key, BlockSize, Access, WithColumn, WithSnapshots>;
+    using NodeT = Node<Key, BlockSize, Access, WithColumn, WithSnapshots,
+                       WithFingerprints>;
     using value_type = Key;
     using reference = const Key&;
     using pointer = const Key*;
     using difference_type = std::ptrdiff_t;
     using iterator_category = std::forward_iterator_tag;
+    using CompT = std::conditional_t<WithFingerprints, Compare, IterNoComp>;
 
     Iterator() = default;
-    Iterator(const NodeT* node, unsigned pos) : node_(node), pos_(pos) {}
+    Iterator(const NodeT* node, unsigned pos, CompT comp = CompT{})
+        : node_(node), pos_(pos), comp_(comp) {}
 
-    reference operator*() const { return node_->keys[pos_]; }
-    pointer operator->() const { return &node_->keys[pos_]; }
+    reference operator*() const { return node_->keys[slot(pos_)]; }
+    pointer operator->() const { return &node_->keys[slot(pos_)]; }
 
     Iterator& operator++() {
         if (node_->inner) {
@@ -1140,8 +1320,48 @@ private:
         }
     }
 
+    /// Map a rank to a physical slot. Identity for inner nodes (always
+    /// sorted), for v1 leaves, and for v2 leaves with an empty append zone.
+    unsigned slot(unsigned rank) const {
+        if constexpr (WithFingerprints) {
+            if (!node_->inner) {
+                if (order_.built_for != node_) build_order();
+                if (order_.active) return order_.idx[rank];
+            }
+        }
+        return rank;
+    }
+
+    /// Build the merged rank→slot table for the current leaf. Called only
+    /// from dereference, i.e. during a read phase with no concurrent writer
+    /// (the iterator contract) — plain reads of keys/sorted are fine here.
+    void build_order() const requires WithFingerprints {
+        const unsigned n = node_->num_elements.load();
+        const unsigned s = node_->fp_sorted();
+        order_.built_for = node_;
+        order_.active = (s < n);
+        if (!order_.active) return;
+        for (unsigned i = 0; i < n; ++i)
+            order_.idx[i] = static_cast<std::uint16_t>(i);
+        // Stable insertion sort of the tail into the prefix: strict `> 0`
+        // keeps prefix-before-tail at ties and tail entries in slot order —
+        // the order point inserts into a sorted leaf would have produced.
+        for (unsigned i = s; i < n; ++i) {
+            const std::uint16_t v = order_.idx[i];
+            unsigned j = i;
+            while (j > 0 && comp_(node_->keys[order_.idx[j - 1]],
+                                   node_->keys[v]) > 0) {
+                order_.idx[j] = order_.idx[j - 1];
+                --j;
+            }
+            order_.idx[j] = v;
+        }
+    }
+
     const NodeT* node_ = nullptr;
     unsigned pos_ = 0;
+    mutable IterOrder<BlockSize, WithFingerprints> order_{};
+    [[no_unique_address]] CompT comp_{};
 };
 
 } // namespace dtree::detail

@@ -37,6 +37,12 @@ inline constexpr std::uint32_t kNoSlot = 0xffffffffu;
 /// rejected and in-range ones are validated before use, falling back to the
 /// full in-node search. Lives next to the leaf slots in the caller-owned
 /// operation_hints object — unsynchronised by design, one per thread.
+///
+/// Leaf layout v2 (WithFingerprints, DESIGN.md §15) keeps the LEAF hints but
+/// ignores SLOT hints on leaves: physical slots are not ordered positions
+/// there (inserts append, membership is a fingerprint probe), so a predicted
+/// slot carries no information. The v2 paths neither read nor write leaf
+/// slot hints; inner-node behaviour is unchanged.
 struct SlotHints {
     std::uint32_t slot[4] = {kNoSlot, kNoSlot, kNoSlot, kNoSlot};
 

@@ -124,6 +124,27 @@ struct SeqAccess {
 // DTREE_SIMD_VECTOR is the single gate the kernel tests: it folds the vector
 // path away when the build disables SIMD (-DDATATREE_SIMD=OFF), the target
 // is not x86-64, or a thread sanitizer is active.
+//
+// Leaf layout v2 (WithFingerprints, DESIGN.md §15) adds one more racy vector
+// consumer: fp_find's _mm256_cmpeq_epi8 over a leaf's one-byte fingerprint
+// array. The same 3-point argument covers it, with one strengthening and one
+// extra ordering obligation:
+//
+//   * Point 2 is *stronger* here than for the column kernels: a fingerprint
+//     match is never acted on directly — it only nominates a slot for full
+//     key verification (itself an Access::load racy read, re-checked by the
+//     same validate()), and a torn fingerprint byte can therefore cause at
+//     most a spurious verify (counted as fp_false_hits) or a miss that the
+//     seqlock retry repairs. No value computed from the vector load survives
+//     a failed validation.
+//   * Writers publish a slot's fingerprint with a RELEASE store ordered
+//     after the per-element key stores (Node::fp_publish), so any reader —
+//     including the TSan-visible scalar fallback, which reads fingerprints
+//     through per-byte relaxed atomics — that observes the byte and then
+//     verifies the slot reads fully-written key elements. Readers that race
+//     with the pre-publish window simply don't see the slot yet; the
+//     append-zone protocol (count published after fingerprint) makes that
+//     window invisible to the merged view.
 
 #if !defined(DATATREE_SIMD)
 // Standalone header use (no CMake configure): default to enabled where the

@@ -82,6 +82,45 @@ constexpr Tuple<Arity, T> prefix_high(T first) {
 }
 
 // ---------------------------------------------------------------------------
+// Key fingerprints (the one-byte membership filter of the leaf layout v2,
+// DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+namespace fp_detail {
+/// Fibonacci-hashing multiplier (2^64 / phi): one multiply diffuses every
+/// input bit into the top byte, which is all the fingerprint keeps.
+inline constexpr std::uint64_t kFpMix = 0x9E3779B97F4A7C15ull;
+} // namespace fp_detail
+
+/// One-byte fingerprint of a key, stored per leaf slot by the v2 leaf layout
+/// so membership probes reject non-matching slots with a single SIMD byte
+/// compare instead of a key comparison. Requirements: deterministic, a pure
+/// function of the key VALUE (equal keys must collide — the probe relies on
+/// it), and well-spread in its low-entropy inputs (dense integer domains,
+/// grid tuples). Collisions are benign: a matching byte only nominates the
+/// slot for full key verification (fp_false_hits counts those).
+template <typename T>
+    requires(std::is_arithmetic_v<T>)
+constexpr std::uint8_t key_fingerprint(T k) {
+    return static_cast<std::uint8_t>(
+        (static_cast<std::uint64_t>(k) * fp_detail::kFpMix) >> 56);
+}
+
+/// Tuples hash ALL elements (FNV-1a combine, then one mixing multiply so the
+/// top byte depends on every element): Datalog relations are dominated by
+/// tuples sharing their leading columns, where a first-column-only byte
+/// would collide across whole leaves.
+template <std::size_t Arity, typename T>
+constexpr std::uint8_t key_fingerprint(const Tuple<Arity, T>& t) {
+    std::uint64_t h = 1469598103934665603ull;
+    for (std::size_t i = 0; i < Arity; ++i) {
+        h ^= static_cast<std::uint64_t>(t[i]);
+        h *= 1099511628211ull;
+    }
+    return static_cast<std::uint8_t>((h * fp_detail::kFpMix) >> 56);
+}
+
+// ---------------------------------------------------------------------------
 // First-column extraction (the SoA key-column cache of the cache-conscious
 // descent kernel, DESIGN.md §10)
 // ---------------------------------------------------------------------------

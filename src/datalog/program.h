@@ -26,6 +26,9 @@ using OurBTreeSnap = baselines::OurBTreeSnapAdapter<StorageTuple>;
 /// Combining-enabled flavour (DESIGN.md §14): same tree + the contention-
 /// adaptive elimination/combining insert path (soufflette --combine).
 using OurBTreeCombine = baselines::OurBTreeCombineAdapter<StorageTuple>;
+/// Leaf-layout-v2 flavour (DESIGN.md §15): per-leaf fingerprint membership +
+/// append-zone inserts (soufflette --fingerprints).
+using OurBTreeFp = baselines::OurBTreeFpAdapter<StorageTuple>;
 using OurBTreeNoHints = baselines::OurBTreeNoHintsAdapter<StorageTuple>;
 using StlSet = baselines::GlobalLockAdapter<baselines::StlSetAdapter<StorageTuple>>;
 using StlHashSet = baselines::GlobalLockAdapter<baselines::StlHashSetAdapter<StorageTuple>>;

@@ -100,6 +100,12 @@ enum class Counter : unsigned {
                           ///< elimination probe (zero stores, no write lock)
     combine_batches,      ///< combiner write-lock acquisitions (batch applies)
     combine_batched_keys, ///< announced keys consumed by combiner batches
+    // core/btree_detail.h + core/btree.h leaf layout v2 (DESIGN.md §15)
+    fp_probes,           ///< fingerprint membership probes issued (v2 leaves)
+    fp_skips,            ///< probes with zero byte candidates (no key loads)
+    fp_false_hits,       ///< byte candidates rejected by key verification
+    append_inserts,      ///< in-leaf inserts taking the append-zone path
+    leaf_consolidations, ///< append-zone tails merged into the sorted prefix
     // net/server.h (wire protocol, DESIGN.md §13)
     net_connections,    ///< TCP connections accepted
     net_frames_in,      ///< complete frames decoded from clients
@@ -162,6 +168,11 @@ inline const char* counter_name(Counter c) {
         case Counter::combine_elisions: return "combine_elisions";
         case Counter::combine_batches: return "combine_batches";
         case Counter::combine_batched_keys: return "combine_batched_keys";
+        case Counter::fp_probes: return "fp_probes";
+        case Counter::fp_skips: return "fp_skips";
+        case Counter::fp_false_hits: return "fp_false_hits";
+        case Counter::append_inserts: return "append_inserts";
+        case Counter::leaf_consolidations: return "leaf_consolidations";
         case Counter::net_connections: return "net_connections";
         case Counter::net_frames_in: return "net_frames_in";
         case Counter::net_frames_out: return "net_frames_out";

@@ -203,8 +203,8 @@ TEST_F(TortureTest, PoolInjectedBlock4) { run_pool_torture<4>(402, true); }
 // scheduler's steal window, so stolen chunks land bulk segments into leaves
 // that a concurrent run is splitting.
 
-template <unsigned B>
-void run_bulk_pool_torture(std::uint64_t seed, bool inject) {
+template <typename TreeT>
+void run_bulk_pool_torture_on(std::uint64_t seed, bool inject) {
     using Key = std::uint64_t;
     if (inject) {
         TortureTest::arm_failpoints(seed);
@@ -229,11 +229,11 @@ void run_bulk_pool_torture(std::uint64_t seed, bool inject) {
         oracle.insert(runs[r].begin(), runs[r].end());
     }
 
-    Tree<B> tree;
+    TreeT tree;
     // Pre-seed so runs also hit the non-empty descent path, not just
     // bulk_init_root.
     {
-        typename Tree<B>::operation_hints h;
+        typename TreeT::operation_hints h;
         for (Key k = 0; k < 2000; k += 7) {
             tree.insert(k, h);
             oracle.insert(k);
@@ -242,7 +242,7 @@ void run_bulk_pool_torture(std::uint64_t seed, bool inject) {
 
     auto& sched = dtree::runtime::Scheduler::instance();
     const auto before = sched.stats();
-    std::vector<typename Tree<B>::operation_hints> hints(kTeam);
+    std::vector<typename TreeT::operation_hints> hints(kTeam);
     sched.parallel_for(
         kRuns, kTeam,
         {dtree::runtime::SchedMode::Steal, /*grain=*/1},
@@ -271,16 +271,16 @@ void run_bulk_pool_torture(std::uint64_t seed, bool inject) {
 }
 
 TEST_F(TortureTest, PoolBulkMergeCleanBlock3) {
-    run_bulk_pool_torture<3>(501, false);
+    run_bulk_pool_torture_on<Tree<3>>(501, false);
 }
 TEST_F(TortureTest, PoolBulkMergeCleanBlock11) {
-    run_bulk_pool_torture<11>(502, false);
+    run_bulk_pool_torture_on<Tree<11>>(502, false);
 }
 TEST_F(TortureTest, PoolBulkMergeInjectedBlock3) {
-    run_bulk_pool_torture<3>(601, true);
+    run_bulk_pool_torture_on<Tree<3>>(601, true);
 }
 TEST_F(TortureTest, PoolBulkMergeInjectedBlock5) {
-    run_bulk_pool_torture<5>(602, true);
+    run_bulk_pool_torture_on<Tree<5>>(602, true);
 }
 
 // -- SIMD-search torture ------------------------------------------------------
@@ -456,6 +456,98 @@ TEST_F(TortureTest, CombineZipfStormInjectedBlock3) { run_zipf_storm<3>(1401, 0)
 TEST_F(TortureTest, CombineZipfStormInjectedBlock5) { run_zipf_storm<5>(1402, 0); }
 TEST_F(TortureTest, CombineZipfStormInjectedDefaultTrigger) {
     run_zipf_storm<4>(1403, 2);
+}
+
+// -- leaf layout v2 torture (WithFingerprints, DESIGN.md §15) -----------------
+// The mixed-phase oracle against fingerprint leaves: membership probes run
+// the byte-compare fast path (racy vector loads inside the optimistic
+// window where compiled in, the relaxed Access::load scalar scan under
+// TSan), in-leaf inserts take the append zone, and splits consolidate the
+// unsorted tail — all while validate_fail discards leases mid-probe,
+// upgrade_fail drops append publications back to retry, and split_delay
+// stretches the consolidation window. The oracle cross-checks every verdict,
+// every scan, and check_invariants (which re-verifies every fingerprint byte
+// and the cached min/max per leaf).
+
+template <unsigned B>
+using FpTortureTree =
+    dtree::fp_btree_set<std::uint64_t,
+                        dtree::ThreeWayComparator<std::uint64_t>, B>;
+
+template <unsigned B>
+void run_fp_torture(std::uint64_t seed, bool inject) {
+    if (inject) TortureTest::arm_failpoints(seed);
+    FpTortureTree<B> tree;
+    const auto res = torture_run(tree, TortureTest::options(seed));
+    ASSERT_TRUE(res.ok) << res.failure;
+    EXPECT_GT(res.new_keys, 0u);
+    EXPECT_GT(res.reads, 0u);
+    EXPECT_GT(res.scans, 0u);
+    if (inject) {
+        EXPECT_GT(fail::fires(fail::Site::validate_fail), 0u)
+            << "no lease validation ever failed under the fingerprint probe";
+        EXPECT_GT(fail::fires(fail::Site::upgrade_fail), 0u);
+        EXPECT_GT(fail::fires(fail::Site::leaf_retry), 0u);
+        EXPECT_GT(fail::fires(fail::Site::split_delay), 0u)
+            << "no consolidation window was ever stretched";
+    }
+}
+
+TEST_F(TortureTest, FpCleanBlock3) { run_fp_torture<3>(1501, false); }
+TEST_F(TortureTest, FpCleanBlock11) { run_fp_torture<11>(1502, false); }
+TEST_F(TortureTest, FpInjectedBlock3) { run_fp_torture<3>(1601, true); }
+TEST_F(TortureTest, FpInjectedBlock4) { run_fp_torture<4>(1602, true); }
+TEST_F(TortureTest, FpInjectedBlock5) { run_fp_torture<5>(1603, true); }
+
+// Concurrent bulk merges into fingerprint leaves: leaf_fill_sorted must
+// rebuild fingerprints and reset append watermarks while stolen chunks race
+// point-split consolidations.
+TEST_F(TortureTest, FpPoolBulkMergeInjectedBlock3) {
+    run_bulk_pool_torture_on<FpTortureTree<3>>(1701, true);
+}
+TEST_F(TortureTest, FpPoolBulkMergeCleanBlock11) {
+    run_bulk_pool_torture_on<FpTortureTree<11>>(1702, false);
+}
+
+// Tuple keys: the FNV-combined fingerprint byte plus first-column tie ranges,
+// racing threads over overlapping windows into one shared tree under full
+// injection (the v2 analogue of SimdInjectedTupleTieRanges).
+TEST_F(TortureTest, FpInjectedTupleTieRanges) {
+    using Key = dtree::Tuple<2>;
+    using TupleFpTree =
+        dtree::fp_btree_set<Key, dtree::ThreeWayComparator<Key>, 4,
+                            dtree::detail::SimdSearch>;
+    TortureTest::arm_failpoints(1801);
+
+    constexpr unsigned kThreads = 4;
+    constexpr std::size_t kPerThread = 3000;
+    std::vector<std::vector<Key>> input(kThreads);
+    std::set<Key> oracle;
+    for (unsigned t = 0; t < kThreads; ++t) {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+            const Key k{(i + t * 700) / 16 % 500, (i * 2654435761u + t) % 64};
+            input[t].push_back(k);
+            oracle.insert(k);
+        }
+    }
+
+    TupleFpTree tree;
+    dtree::util::parallel_blocks(
+        kThreads, kThreads, [&](unsigned tid, std::size_t, std::size_t) {
+            auto h = tree.create_hints();
+            for (const auto& k : input[tid]) {
+                tree.insert(k, h);
+                tree.contains(k, h);
+            }
+        });
+
+    EXPECT_GT(fail::fires(fail::Site::validate_fail), 0u);
+    const std::string err = tree.check_invariants();
+    ASSERT_TRUE(err.empty()) << err;
+    std::vector<Key> got(tree.begin(), tree.end());
+    std::vector<Key> want(oracle.begin(), oracle.end());
+    ASSERT_EQ(got, want)
+        << "concurrent tuple inserts into v2 leaves diverged from the oracle";
 }
 
 // -- snapshot torture: readers during writes (DESIGN.md §11) ------------------
